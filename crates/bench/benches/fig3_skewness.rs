@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig3 skewness experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig3_skewness`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig3_skewness();
+    eprintln!("\n[fig3_skewness] {} points in {:?}", points.len(), t0.elapsed());
+}

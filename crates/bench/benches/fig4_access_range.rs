@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig4 access range experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig4_access_range`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig4_access_range();
+    eprintln!("\n[fig4_access_range] {} points in {:?}", points.len(), t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig5 group size experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig5_group_size`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig5_group_size();
+    eprintln!("\n[fig5_group_size] {} points in {:?}", points.len(), t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig6 update rate experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig6_update_rate`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig6_update_rate();
+    eprintln!("\n[fig6_update_rate] {} points in {:?}", points.len(), t0.elapsed());
+}

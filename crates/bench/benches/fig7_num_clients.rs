@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig7 num clients experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig7_num_clients`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig7_num_clients();
+    eprintln!("\n[fig7_num_clients] {} points in {:?}", points.len(), t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig8 disconnection experiment. Run directly:
+//! `cargo bench -p grococa-bench --bench fig8_disconnection`
+//! (set `GROCOCA_FULL=1` for paper-scale runs).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let points = grococa_bench::fig8_disconnection();
+    eprintln!("\n[fig8_disconnection] {} points in {:?}", points.len(), t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Hybrid push+pull dissemination sweep (extension beyond the paper's
+//! pull-only evaluation). Run:
+//! `cargo bench -p grococa-bench --bench hybrid`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    grococa_bench::hybrid_delivery();
+    eprintln!("\n[hybrid] done in {:?}", t0.elapsed());
+}

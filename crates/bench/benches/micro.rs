@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the hot substrate operations: bloom
+//! filter inserts/queries, VLFL compression round trips, Zipf sampling,
+//! event-queue throughput, incremental TCG maintenance, and mobility
+//! position queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use grococa_core::TcgDirectory;
+use grococa_mobility::{FieldConfig, MobilityField, Vec2};
+use grococa_sim::{Scheduler, SimRng, SimTime};
+use grococa_signature::{find_optimal_r, BloomFilter, CompressedSignature, CountingFilter};
+use grococa_workload::Zipf;
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("bloom/insert_10k_sigma_k2", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::new(10_000, 2);
+            for key in 0..100u64 {
+                f.insert(black_box(key));
+            }
+            f
+        })
+    });
+    let mut filter = BloomFilter::new(10_000, 2);
+    for key in 0..100u64 {
+        filter.insert(key);
+    }
+    c.bench_function("bloom/contains", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            black_box(filter.contains(black_box(key)))
+        })
+    });
+    c.bench_function("counting_filter/insert_remove", |b| {
+        let mut cf = CountingFilter::new(10_000, 2, 4);
+        b.iter(|| {
+            cf.insert(black_box(42));
+            cf.remove(black_box(42)).unwrap();
+        })
+    });
+}
+
+fn bench_vlfl(c: &mut Criterion) {
+    let mut filter = BloomFilter::new(10_000, 2);
+    for key in 0..100u64 {
+        filter.insert(key);
+    }
+    let r = find_optimal_r(100, 10_000, 2);
+    c.bench_function("vlfl/encode_10k_bits", |b| {
+        b.iter(|| CompressedSignature::encode(black_box(&filter), r))
+    });
+    let encoded = CompressedSignature::encode(&filter, r);
+    c.bench_function("vlfl/decode_10k_bits", |b| {
+        b.iter(|| black_box(&encoded).decode().unwrap())
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000, 0.5);
+    let mut rng = SimRng::new(7);
+    c.bench_function("zipf/sample_n1000", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("scheduler/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            for i in 0..1_000u64 {
+                s.schedule_at(SimTime::from_micros(i * 7 % 997), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = s.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_tcg(c: &mut Criterion) {
+    c.bench_function("tcg/record_access_n100", |b| {
+        let mut dir = TcgDirectory::new(100, 10_000, 100.0, 0.05, 0.5);
+        for i in 0..100 {
+            dir.record_location(i, Vec2::new(i as f64, 0.0));
+        }
+        let mut item = 0u64;
+        b.iter(|| {
+            item = (item + 1) % 10_000;
+            dir.record_access(black_box(3), item);
+        })
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut field = MobilityField::new(FieldConfig::default(), 100, 11);
+    let active = vec![true; 100];
+    let mut t = 0u64;
+    c.bench_function("mobility/reachable_2hop_n100", |b| {
+        b.iter(|| {
+            t += 13;
+            field.reachable_within_hops(
+                black_box(5),
+                100.0,
+                2,
+                SimTime::from_millis(t),
+                &active,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_vlfl,
+    bench_zipf,
+    bench_event_queue,
+    bench_tcg,
+    bench_mobility
+);
+criterion_main!(benches);

@@ -1,0 +1,516 @@
+//! The mobile client cache.
+//!
+//! All three schemes in the paper (conventional caching, COCA, GroCoca) use
+//! a **least-recently-used** client cache with per-item time-to-live
+//! metadata. GroCoca's cooperative replacement additionally needs:
+//!
+//! * the `ReplaceCandidate` least-valuable items (to pick a replicated
+//!   victim among them),
+//! * remote *touches* — a peer in the same tightly-coupled group refreshes
+//!   an item's last-access timestamp after serving it, and
+//! * a **SingletTTL** counter per item, counting how many times the item
+//!   escaped replacement solely because it has no replica in the group.
+//!
+//! The cache stores item metadata only; data bytes are synthetic in the
+//! simulation, exactly as in the paper's model.
+//!
+//! # Examples
+//!
+//! ```
+//! use grococa_cache::ClientCache;
+//! use grococa_sim::SimTime;
+//!
+//! let mut cache: ClientCache<u32> = ClientCache::new(2);
+//! let t = SimTime::from_secs(1);
+//! cache.insert(1, t, SimTime::MAX);
+//! cache.insert(2, t + SimTime::from_secs(1), SimTime::MAX);
+//! cache.get(1, t + SimTime::from_secs(2)); // 1 is now most recent
+//! let evicted = cache.insert(3, t + SimTime::from_secs(3), SimTime::MAX);
+//! assert_eq!(evicted, Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use grococa_sim::SimTime;
+
+/// The victim-selection policy of a [`ClientCache`].
+///
+/// The paper evaluates every scheme with LRU ("All schemes adopt least
+/// recently used (LRU) cache replacement policy", Section VI); the other
+/// policies are baselines for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used item (the paper's choice).
+    #[default]
+    Lru,
+    /// Evict the least-frequently-used item (ties broken by recency).
+    Lfu,
+    /// Evict the oldest-inserted item regardless of use.
+    Fifo,
+}
+
+/// Metadata kept for each cached item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Last local access (or remote TCG touch) — the LRU value.
+    pub last_access: SimTime,
+    /// When the item first entered the cache (FIFO ordering).
+    pub inserted_at: SimTime,
+    /// Local accesses + remote touches since insertion (LFU ordering).
+    pub access_count: u64,
+    /// When the copy was obtained (the paper's retrieve time `t_r`).
+    pub retrieved_at: SimTime,
+    /// TTL expiry instant; [`SimTime::MAX`] means no expiry.
+    pub expires_at: SimTime,
+    /// Remaining SingletTTL budget (cooperative replacement, Section IV.E).
+    pub singlet_ttl: u32,
+}
+
+impl Entry {
+    /// Whether the entry's TTL is still valid at `now`.
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        now < self.expires_at
+    }
+}
+
+/// A fixed-capacity LRU cache over item keys.
+///
+/// Eviction order is by `last_access`, with deterministic key-order
+/// tie-breaking so that simulations replay identically. The cache is sized
+/// for the paper's regime (a few hundred items), so victim selection scans
+/// rather than maintaining an intrusive list.
+#[derive(Debug, Clone)]
+pub struct ClientCache<K> {
+    capacity: usize,
+    policy: ReplacementPolicy,
+    entries: HashMap<K, Entry>,
+    default_singlet_ttl: u32,
+}
+
+impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
+    /// Creates an empty cache holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ClientCache {
+            capacity,
+            policy: ReplacementPolicy::Lru,
+            entries: HashMap::with_capacity(capacity),
+            default_singlet_ttl: u32::MAX,
+        }
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_policy(capacity: usize, policy: ReplacementPolicy) -> Self {
+        let mut cache = ClientCache::new(capacity);
+        cache.policy = policy;
+        cache
+    }
+
+    /// The victim-selection policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Sets the SingletTTL budget (the paper's `ReplaceDelay`) granted to
+    /// newly inserted or re-accessed items.
+    pub fn set_default_singlet_ttl(&mut self, ttl: u32) {
+        self.default_singlet_ttl = ttl;
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the cache is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether `key` is cached (without touching recency).
+    pub fn contains(&self, key: K) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Reads the entry without touching recency.
+    pub fn peek(&self, key: K) -> Option<&Entry> {
+        self.entries.get(&key)
+    }
+
+    /// Accesses `key` at `now`: refreshes its LRU timestamp and resets the
+    /// SingletTTL budget. Returns the entry.
+    pub fn get(&mut self, key: K, now: SimTime) -> Option<&Entry> {
+        let default_ttl = self.default_singlet_ttl;
+        let e = self.entries.get_mut(&key)?;
+        e.last_access = now;
+        e.access_count += 1;
+        e.singlet_ttl = default_ttl;
+        Some(e)
+    }
+
+    /// Refreshes the LRU timestamp without counting a local access — the
+    /// remote touch a TCG peer applies after serving the item ("so that the
+    /// item can be retained longer in the global cache"). Also resets the
+    /// SingletTTL budget, since the item was just accessed by a group
+    /// member.
+    pub fn touch(&mut self, key: K, now: SimTime) -> bool {
+        let default_ttl = self.default_singlet_ttl;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_access = now;
+                e.access_count += 1;
+                e.singlet_ttl = default_ttl;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `key` at `now` with the given TTL expiry, evicting the
+    /// least-recently-used item if necessary. Returns the evicted key, if
+    /// any. Re-inserting an existing key refreshes its metadata in place.
+    pub fn insert(&mut self, key: K, now: SimTime, expires_at: SimTime) -> Option<K> {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_access = now;
+            e.retrieved_at = now;
+            e.expires_at = expires_at;
+            e.access_count += 1;
+            e.singlet_ttl = self.default_singlet_ttl;
+            return None;
+        }
+        let evicted = if self.is_full() { self.pop_victim() } else { None };
+        self.entries.insert(
+            key,
+            Entry {
+                last_access: now,
+                inserted_at: now,
+                access_count: 1,
+                retrieved_at: now,
+                expires_at,
+                singlet_ttl: self.default_singlet_ttl,
+            },
+        );
+        evicted
+    }
+
+    /// Inserts `key`, first evicting `victim` if the cache is full.
+    ///
+    /// This is the hook for cooperative replacement: the caller chose the
+    /// victim (e.g. a group-replicated item) instead of the plain LRU one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full and `victim` is not cached.
+    pub fn insert_evicting(
+        &mut self,
+        key: K,
+        now: SimTime,
+        expires_at: SimTime,
+        victim: K,
+    ) -> Option<K> {
+        if self.entries.contains_key(&key) {
+            return self.insert(key, now, expires_at);
+        }
+        if self.is_full() {
+            assert!(
+                self.entries.remove(&victim).is_some(),
+                "cooperative replacement victim must be cached"
+            );
+            self.insert(key, now, expires_at);
+            Some(victim)
+        } else {
+            self.insert(key, now, expires_at)
+        }
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: K) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Updates the TTL expiry of a cached item (after server revalidation).
+    pub fn set_expiry(&mut self, key: K, expires_at: SimTime, retrieved_at: SimTime) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.expires_at = expires_at;
+                e.retrieved_at = retrieved_at;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Decrements the SingletTTL of `key`; returns the new value.
+    /// Saturates at zero.
+    pub fn decrement_singlet(&mut self, key: K) -> Option<u32> {
+        let e = self.entries.get_mut(&key)?;
+        e.singlet_ttl = e.singlet_ttl.saturating_sub(1);
+        Some(e.singlet_ttl)
+    }
+
+    /// The policy's total ordering of eviction priority: least valuable
+    /// first, ties broken by key order so simulations replay identically.
+    fn victim_order(&self, a: (&K, &Entry), b: (&K, &Entry)) -> std::cmp::Ordering {
+        let by_value = match self.policy {
+            ReplacementPolicy::Lru => a.1.last_access.cmp(&b.1.last_access),
+            ReplacementPolicy::Lfu => a
+                .1
+                .access_count
+                .cmp(&b.1.access_count)
+                .then(a.1.last_access.cmp(&b.1.last_access)),
+            ReplacementPolicy::Fifo => a.1.inserted_at.cmp(&b.1.inserted_at),
+        };
+        by_value.then_with(|| a.0.cmp(b.0))
+    }
+
+    /// The `count` least-valuable keys under the current policy, least
+    /// valuable first (deterministic tie-break by key order). These are
+    /// the paper's `ReplaceCandidate` items.
+    pub fn victim_candidates(&self, count: usize) -> Vec<K> {
+        let mut all: Vec<(&K, &Entry)> = self.entries.iter().collect();
+        all.sort_by(|a, b| self.victim_order(*a, *b));
+        all.into_iter().take(count).map(|(k, _)| *k).collect()
+    }
+
+    /// The single least-valuable key under the current policy.
+    pub fn victim_key(&self) -> Option<K> {
+        self.entries
+            .iter()
+            .min_by(|a, b| self.victim_order(*a, *b))
+            .map(|(k, _)| *k)
+    }
+
+    /// The `count` least-recently-used keys — [`ClientCache::victim_candidates`]
+    /// under the paper's default LRU policy.
+    pub fn lru_candidates(&self, count: usize) -> Vec<K> {
+        self.victim_candidates(count)
+    }
+
+    /// The least-recently-used key — [`ClientCache::victim_key`] under the
+    /// paper's default LRU policy.
+    pub fn lru_key(&self) -> Option<K> {
+        self.victim_key()
+    }
+
+    fn pop_victim(&mut self) -> Option<K> {
+        let key = self.victim_key()?;
+        self.entries.remove(&key);
+        Some(key)
+    }
+
+    /// Iterates over all cached keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Iterates over `(key, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &Entry)> + '_ {
+        self.entries.iter().map(|(k, e)| (*k, e))
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: ClientCache<u32> = ClientCache::new(3);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        c.insert(3, t(3), SimTime::MAX);
+        c.get(1, t(4));
+        assert_eq!(c.insert(4, t(5), SimTime::MAX), Some(2));
+        assert!(c.contains(1) && c.contains(3) && c.contains(4));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        assert_eq!(c.insert(1, t(3), t(100)), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(1).unwrap().expires_at, t(100));
+        assert_eq!(c.peek(1).unwrap().retrieved_at, t(3));
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_key() {
+        let mut c: ClientCache<u32> = ClientCache::new(3);
+        // All inserted at the same instant: LRU order must be key order.
+        c.insert(30, t(1), SimTime::MAX);
+        c.insert(10, t(1), SimTime::MAX);
+        c.insert(20, t(1), SimTime::MAX);
+        assert_eq!(c.lru_key(), Some(10));
+        assert_eq!(c.lru_candidates(2), vec![10, 20]);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        assert!(c.touch(1, t(5)));
+        assert!(!c.touch(99, t(5)));
+        assert_eq!(c.insert(3, t(6), SimTime::MAX), Some(2));
+    }
+
+    #[test]
+    fn insert_evicting_uses_chosen_victim() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        // LRU would evict 1; cooperative replacement picks 2.
+        assert_eq!(c.insert_evicting(3, t(3), SimTime::MAX, 2), Some(2));
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "victim must be cached")]
+    fn insert_evicting_rejects_missing_victim() {
+        let mut c: ClientCache<u32> = ClientCache::new(1);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert_evicting(2, t(2), SimTime::MAX, 42);
+    }
+
+    #[test]
+    fn insert_evicting_with_space_does_not_evict() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        assert_eq!(c.insert_evicting(2, t(2), SimTime::MAX, 1), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ttl_validity() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), t(10));
+        assert!(c.peek(1).unwrap().is_valid(t(9)));
+        assert!(!c.peek(1).unwrap().is_valid(t(10)));
+        assert!(c.set_expiry(1, t(20), t(11)));
+        assert!(c.peek(1).unwrap().is_valid(t(15)));
+        assert!(!c.set_expiry(9, t(20), t(11)));
+    }
+
+    #[test]
+    fn singlet_ttl_lifecycle() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.set_default_singlet_ttl(2);
+        c.insert(1, t(1), SimTime::MAX);
+        assert_eq!(c.peek(1).unwrap().singlet_ttl, 2);
+        assert_eq!(c.decrement_singlet(1), Some(1));
+        assert_eq!(c.decrement_singlet(1), Some(0));
+        assert_eq!(c.decrement_singlet(1), Some(0)); // saturates
+        c.get(1, t(2)); // access resets the budget
+        assert_eq!(c.peek(1).unwrap().singlet_ttl, 2);
+        assert_eq!(c.decrement_singlet(42), None);
+    }
+
+    #[test]
+    fn lru_candidates_orders_least_first() {
+        let mut c: ClientCache<u32> = ClientCache::new(4);
+        c.insert(1, t(4), SimTime::MAX);
+        c.insert(2, t(1), SimTime::MAX);
+        c.insert(3, t(3), SimTime::MAX);
+        c.insert(4, t(2), SimTime::MAX);
+        assert_eq!(c.lru_candidates(3), vec![2, 4, 3]);
+        assert_eq!(c.lru_candidates(10).len(), 4);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c: ClientCache<u32> = ClientCache::with_policy(3, ReplacementPolicy::Lfu);
+        assert_eq!(c.policy(), ReplacementPolicy::Lfu);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        c.insert(3, t(3), SimTime::MAX);
+        // Heat up 1 and 3; 2 stays at one access.
+        c.get(1, t(4));
+        c.get(1, t(5));
+        c.get(3, t(6));
+        assert_eq!(c.insert(4, t(7), SimTime::MAX), Some(2));
+        // Among equal counts (3 and 4), the older access loses.
+        c.get(4, t(8)); // 4: 2 accesses, 3: 2 accesses, 1: 3 accesses
+        assert_eq!(c.insert(5, t(9), SimTime::MAX), Some(3));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c: ClientCache<u32> = ClientCache::with_policy(2, ReplacementPolicy::Fifo);
+        c.insert(1, t(1), SimTime::MAX);
+        c.insert(2, t(2), SimTime::MAX);
+        c.get(1, t(5)); // recency must not matter
+        assert_eq!(c.insert(3, t(6), SimTime::MAX), Some(1));
+    }
+
+    #[test]
+    fn policies_share_candidate_interface() {
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Lfu, ReplacementPolicy::Fifo] {
+            let mut c: ClientCache<u32> = ClientCache::with_policy(3, policy);
+            c.insert(1, t(1), SimTime::MAX);
+            c.insert(2, t(2), SimTime::MAX);
+            let cands = c.victim_candidates(2);
+            assert_eq!(cands.len(), 2);
+            assert_eq!(cands[0], c.victim_key().unwrap(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn access_count_tracks_uses() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        c.get(1, t(2));
+        c.touch(1, t(3));
+        assert_eq!(c.peek(1).unwrap().access_count, 3);
+        assert_eq!(c.peek(1).unwrap().inserted_at, t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: ClientCache<u32> = ClientCache::new(0);
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let mut c: ClientCache<u32> = ClientCache::new(2);
+        c.insert(1, t(1), SimTime::MAX);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        c.insert(2, t(1), SimTime::MAX);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

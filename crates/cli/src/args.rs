@@ -1,0 +1,372 @@
+//! Minimal dependency-free argument parsing for the `grococa` binary.
+//!
+//! Flags are `--name value` pairs (plus a few boolean switches); unknown
+//! flags are errors listing the accepted set, so typos fail loudly.
+
+use std::fmt;
+
+use grococa_core::{DataDelivery, ReplacementPolicy, Scheme, SimConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+}
+
+/// The `grococa` subcommands.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Run one configuration and print its report.
+    Run(Box<SimConfig>),
+    /// Run all three schemes on one configuration.
+    Compare(Box<SimConfig>),
+    /// Sweep one parameter across values, all three schemes.
+    Sweep {
+        /// Base configuration (scheme field ignored — all three run).
+        base: Box<SimConfig>,
+        /// The swept parameter name.
+        param: String,
+        /// The values to sweep.
+        values: Vec<f64>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A fatal argument error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// The usage text printed by `grococa help`.
+pub const USAGE: &str = "\
+grococa — group-based P2P cooperative caching simulator
+
+USAGE:
+    grococa run     [OPTIONS]          one run, one scheme
+    grococa compare [OPTIONS]          one configuration, all three schemes
+    grococa sweep --param NAME --values V1,V2,... [OPTIONS]
+    grococa help
+
+OPTIONS (all optional; defaults are the paper's Table II):
+    --scheme cc|coca|gc        caching scheme            [default: gc]
+    --clients N                number of mobile hosts    [default: 100]
+    --requests N               recorded requests / host  [default: 300]
+    --seed N                   master random seed        [default: 0xC0CA]
+    --cache-size N             items per client cache    [default: 100]
+    --policy lru|lfu|fifo      replacement policy        [default: lru]
+    --theta X                  Zipf skew                 [default: 0.5]
+    --access-range N           items per group window    [default: 1000]
+    --group-size N             hosts per motion group    [default: 5]
+    --update-rate X            server updates / second   [default: 0]
+    --p-disc X                 disconnection probability [default: 0]
+    --hop-dist N               broadcast search hops     [default: 2]
+    --tran-range M             P2P range, metres         [default: 100]
+    --downlink-kbps N          server downlink bandwidth [default: 2000]
+    --delta-distance M         TCG distance threshold Δ  [default: 100]
+    --delta-similarity X       TCG similarity threshold δ[default: 0.05]
+    --hybrid-slots N           enable push channel with N hot slots
+    --low-activity X           fraction of low-activity hosts    [default: 0]
+    --delegate-singlets        delegate singlet evictions to low-activity TCG members
+    --ndp-tables               use NDP link tables instead of geometry
+    --account-beacons          meter NDP beacon power
+    --csv                      machine-readable CSV output
+
+SWEEPABLE PARAMETERS:
+    cache_size, theta, access_range, group_size, update_rate, p_disc,
+    clients, hop_dist, delta_similarity
+";
+
+/// Applies `--flag value` to the config. Returns whether the flag consumed
+/// a value.
+fn apply_flag(cfg: &mut SimConfig, flag: &str, value: Option<&str>) -> Result<bool, ArgError> {
+    fn parse<T: std::str::FromStr>(flag: &str, v: Option<&str>) -> Result<T, ArgError> {
+        let v = v.ok_or_else(|| err(format!("{flag} needs a value")))?;
+        v.parse()
+            .map_err(|_| err(format!("invalid value {v:?} for {flag}")))
+    }
+    match flag {
+        "--scheme" => {
+            cfg.scheme = match parse::<String>(flag, value)?.as_str() {
+                "cc" => Scheme::Conventional,
+                "coca" => Scheme::Coca,
+                "gc" | "grococa" => Scheme::GroCoca,
+                other => return Err(err(format!("unknown scheme {other:?} (cc|coca|gc)"))),
+            }
+        }
+        "--clients" => cfg.num_clients = parse(flag, value)?,
+        "--requests" => cfg.requests_per_mh = parse(flag, value)?,
+        "--seed" => cfg.seed = parse(flag, value)?,
+        "--cache-size" => cfg.cache_size = parse(flag, value)?,
+        "--policy" => {
+            cfg.cache_policy = match parse::<String>(flag, value)?.as_str() {
+                "lru" => ReplacementPolicy::Lru,
+                "lfu" => ReplacementPolicy::Lfu,
+                "fifo" => ReplacementPolicy::Fifo,
+                other => return Err(err(format!("unknown policy {other:?} (lru|lfu|fifo)"))),
+            }
+        }
+        "--theta" => cfg.theta = parse(flag, value)?,
+        "--access-range" => cfg.access_range = parse(flag, value)?,
+        "--group-size" => cfg.group_size = parse(flag, value)?,
+        "--update-rate" => cfg.update_rate = parse(flag, value)?,
+        "--p-disc" => cfg.p_disc = parse(flag, value)?,
+        "--hop-dist" => cfg.hop_dist = parse(flag, value)?,
+        "--tran-range" => cfg.tran_range = parse(flag, value)?,
+        "--downlink-kbps" => cfg.downlink_kbps = parse(flag, value)?,
+        "--delta-distance" => cfg.tcg_distance = parse(flag, value)?,
+        "--delta-similarity" => cfg.tcg_similarity = parse(flag, value)?,
+        "--hybrid-slots" => {
+            cfg.delivery = DataDelivery::Hybrid {
+                push_slots: parse(flag, value)?,
+                push_kbps: 2_000,
+                refresh_secs: 10.0,
+                max_wait_secs: 3.0,
+            }
+        }
+        "--low-activity" => cfg.low_activity_fraction = parse(flag, value)?,
+        "--delegate-singlets" => {
+            cfg.delegate_singlets = true;
+            return Ok(false);
+        }
+        "--ndp-tables" => {
+            cfg.ndp_tables = true;
+            return Ok(false);
+        }
+        "--account-beacons" => {
+            cfg.account_beacons = true;
+            return Ok(false);
+        }
+        _ => return Err(err(format!("unknown option {flag} (see `grococa help`)"))),
+    }
+    Ok(true)
+}
+
+/// Sets a swept parameter on a config.
+pub fn apply_sweep_value(cfg: &mut SimConfig, param: &str, x: f64) -> Result<(), ArgError> {
+    match param {
+        "cache_size" => cfg.cache_size = x as usize,
+        "theta" => cfg.theta = x,
+        "access_range" => cfg.access_range = x as u64,
+        "group_size" => cfg.group_size = x as usize,
+        "update_rate" => cfg.update_rate = x,
+        "p_disc" => cfg.p_disc = x,
+        "clients" => cfg.num_clients = x as usize,
+        "hop_dist" => cfg.hop_dist = x as u32,
+        "delta_similarity" => cfg.tcg_similarity = x,
+        other => {
+            return Err(err(format!(
+                "unknown sweep parameter {other:?} (see `grococa help`)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] describing the first malformed argument.
+pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
+    let Some(command) = args.first() else {
+        return Ok(Cli {
+            command: Command::Help,
+            csv: false,
+        });
+    };
+    let mut cfg = SimConfig {
+        requests_per_mh: 300,
+        ..SimConfig::default()
+    };
+    let mut csv = false;
+    let mut param: Option<String> = None;
+    let mut values: Vec<f64> = Vec::new();
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).map(String::as_str);
+        match flag {
+            "--csv" => {
+                csv = true;
+                i += 1;
+            }
+            "--param" => {
+                param = Some(
+                    value
+                        .ok_or_else(|| err("--param needs a value"))?
+                        .to_string(),
+                );
+                i += 2;
+            }
+            "--values" => {
+                let list = value.ok_or_else(|| err("--values needs a value"))?;
+                values = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .map_err(|_| err(format!("invalid sweep value {v:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            _ => {
+                let consumed = apply_flag(&mut cfg, flag, value)?;
+                i += if consumed { 2 } else { 1 };
+            }
+        }
+    }
+
+    let command = match command.as_str() {
+        "run" => Command::Run(Box::new(cfg)),
+        "compare" => Command::Compare(Box::new(cfg)),
+        "sweep" => {
+            let param = param.ok_or_else(|| err("sweep requires --param"))?;
+            if values.is_empty() {
+                return Err(err("sweep requires --values v1,v2,..."));
+            }
+            // Validate the parameter name eagerly.
+            apply_sweep_value(&mut cfg.clone(), &param, values[0])?;
+            Command::Sweep {
+                base: Box::new(cfg),
+                param,
+                values,
+            }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(err(format!("unknown command {other:?} (see `grococa help`)"))),
+    };
+    Ok(Cli { command, csv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_with_options() {
+        let cli = parse_args(&argv(
+            "run --scheme coca --clients 42 --theta 0.8 --csv --seed 7",
+        ))
+        .unwrap();
+        assert!(cli.csv);
+        match cli.command {
+            Command::Run(cfg) => {
+                assert_eq!(cfg.scheme, Scheme::Coca);
+                assert_eq!(cfg.num_clients, 42);
+                assert_eq!(cfg.theta, 0.8);
+                assert_eq!(cfg.seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_param_and_values() {
+        let cli = parse_args(&argv(
+            "sweep --param cache_size --values 50,100,150 --scheme gc",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep { param, values, .. } => {
+                assert_eq!(param, "cache_size");
+                assert_eq!(values, vec![50.0, 100.0, 150.0]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_requires_param_and_values() {
+        assert!(parse_args(&argv("sweep --values 1,2")).is_err());
+        assert!(parse_args(&argv("sweep --param theta")).is_err());
+        assert!(parse_args(&argv("sweep --param bogus --values 1")).is_err());
+    }
+
+    #[test]
+    fn boolean_switches_consume_no_value() {
+        let cli = parse_args(&argv("run --ndp-tables --account-beacons --clients 9")).unwrap();
+        match cli.command {
+            Command::Run(cfg) => {
+                assert!(cfg.ndp_tables);
+                assert!(cfg.account_beacons);
+                assert_eq!(cfg.num_clients, 9);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hybrid_flag_sets_delivery() {
+        let cli = parse_args(&argv("run --hybrid-slots 500")).unwrap();
+        match cli.command {
+            Command::Run(cfg) => {
+                assert!(matches!(
+                    cfg.delivery,
+                    DataDelivery::Hybrid { push_slots: 500, .. }
+                ));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_schemes_error() {
+        assert!(parse_args(&argv("run --bogus 1")).is_err());
+        assert!(parse_args(&argv("run --scheme magic")).is_err());
+        assert!(parse_args(&argv("run --policy random")).is_err());
+        assert!(parse_args(&argv("explode")).is_err());
+        assert!(parse_args(&argv("run --clients")).is_err());
+        assert!(parse_args(&argv("run --clients nine")).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert!(matches!(parse_args(&[]).unwrap().command, Command::Help));
+        assert!(matches!(
+            parse_args(&argv("help")).unwrap().command,
+            Command::Help
+        ));
+    }
+
+    #[test]
+    fn apply_sweep_value_covers_documented_params() {
+        let mut cfg = SimConfig::default();
+        for (p, v) in [
+            ("cache_size", 64.0),
+            ("theta", 0.7),
+            ("access_range", 500.0),
+            ("group_size", 8.0),
+            ("update_rate", 2.0),
+            ("p_disc", 0.1),
+            ("clients", 33.0),
+            ("hop_dist", 3.0),
+            ("delta_similarity", 0.2),
+        ] {
+            apply_sweep_value(&mut cfg, p, v).unwrap();
+        }
+        assert_eq!(cfg.cache_size, 64);
+        assert_eq!(cfg.num_clients, 33);
+        assert_eq!(cfg.hop_dist, 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Library behind the `grococa` command-line binary: argument parsing,
+//! command execution and report rendering. Split from `main.rs` so the
+//! whole surface is unit-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod output;
+
+use grococa_core::{Scheme, Simulation};
+
+use args::{apply_sweep_value, ArgError, Cli, Command};
+use output::Row;
+
+/// Executes a parsed command line, returning the rendered output (the
+/// binary prints it; tests inspect it).
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] if a sweep value is invalid for its parameter.
+pub fn execute(cli: &Cli) -> Result<String, ArgError> {
+    let render = |rows: &[Row]| {
+        if cli.csv {
+            output::to_csv(rows)
+        } else {
+            output::to_table(rows)
+        }
+    };
+    match &cli.command {
+        Command::Help => Ok(args::USAGE.to_string()),
+        Command::Run(cfg) => {
+            let report = Simulation::new((**cfg).clone()).run().report;
+            Ok(render(&[Row {
+                scheme: cfg.scheme,
+                x: None,
+                report,
+            }]))
+        }
+        Command::Compare(cfg) => {
+            let rows: Vec<Row> = [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca]
+                .into_iter()
+                .map(|scheme| {
+                    let mut c = (**cfg).clone();
+                    c.scheme = scheme;
+                    Row {
+                        scheme,
+                        x: None,
+                        report: Simulation::new(c).run().report,
+                    }
+                })
+                .collect();
+            Ok(render(&rows))
+        }
+        Command::Sweep {
+            base,
+            param,
+            values,
+        } => {
+            let mut rows = Vec::new();
+            for &x in values {
+                for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+                    let mut c = (**base).clone();
+                    c.scheme = scheme;
+                    apply_sweep_value(&mut c, param, x)?;
+                    rows.push(Row {
+                        scheme,
+                        x: Some(x),
+                        report: Simulation::new(c).run().report,
+                    });
+                }
+            }
+            Ok(render(&rows))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use args::parse_args;
+
+    fn run(line: &str) -> String {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        execute(&parse_args(&argv).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run("help").contains("USAGE"));
+    }
+
+    #[test]
+    fn run_produces_one_row() {
+        let out = run("run --clients 10 --requests 15 --scheme cc");
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("CC"));
+    }
+
+    #[test]
+    fn compare_produces_three_rows() {
+        let out = run("compare --clients 10 --requests 15 --csv");
+        assert_eq!(out.lines().count(), 4);
+        for label in ["CC", "COCA", "GC"] {
+            assert!(out.contains(label), "missing {label} in output");
+        }
+    }
+
+    #[test]
+    fn sweep_produces_values_times_schemes_rows() {
+        let out = run(
+            "sweep --param theta --values 0.2,0.8 --clients 10 --requests 15 --csv",
+        );
+        assert_eq!(out.lines().count(), 1 + 2 * 3);
+        assert!(out.contains("COCA,0.2,"));
+        assert!(out.contains("GC,0.8,"));
+    }
+
+    #[test]
+    fn cli_runs_are_deterministic() {
+        let a = run("run --clients 10 --requests 15 --seed 3 --csv");
+        let b = run("run --clients 10 --requests 15 --seed 3 --csv");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,26 @@
+//! The `grococa` command-line binary. See `grococa help` or
+//! [`grococa_cli::args::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match grococa_cli::args::parse_args(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `grococa help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match grococa_cli::execute(&cli) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

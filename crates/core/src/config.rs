@@ -1,0 +1,435 @@
+//! Simulation configuration (the paper's Table II plus protocol toggles).
+//!
+//! Every parameter the paper's experiments vary is a field here; defaults
+//! reconstruct Table II (see `DESIGN.md` for the reconstruction notes, since
+//! the scraped paper text lost most numerals).
+
+use grococa_cache::ReplacementPolicy;
+use grococa_mobility::MotionModel;
+use grococa_net::MessageSizes;
+use grococa_power::PowerModel;
+use grococa_sim::SimTime;
+
+/// Which caching scheme a run simulates (the paper's CC / COCA / GC
+/// series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheme {
+    /// Conventional caching: local cache + server only, no cooperation.
+    Conventional,
+    /// Standard COCA: peer search before the server, plain LRU everywhere.
+    Coca,
+    /// GroCoca: COCA plus tightly-coupled groups, cache signatures and the
+    /// two cooperative cache-management protocols.
+    #[default]
+    GroCoca,
+}
+
+impl Scheme {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Conventional => "CC",
+            Scheme::Coca => "COCA",
+            Scheme::GroCoca => "GC",
+        }
+    }
+
+    /// Whether the scheme searches peer caches at all.
+    pub fn is_cooperative(self) -> bool {
+        !matches!(self, Scheme::Conventional)
+    }
+}
+
+/// Feature toggles for GroCoca's individual mechanisms — all on by default;
+/// the ablation benches switch them off one at a time. Ignored by the other
+/// schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroCocaToggles {
+    /// Use the peer-signature filter to bypass hopeless peer searches.
+    pub signature_filter: bool,
+    /// Cooperative cache admission control (don't replicate what a TCG
+    /// member already serves).
+    pub admission_control: bool,
+    /// Cooperative cache replacement (prefer evicting group-replicated
+    /// items, SingletTTL).
+    pub cooperative_replacement: bool,
+    /// VLFL-compress cache signatures when beneficial.
+    pub compress_signatures: bool,
+    /// Piggyback signature-update lists on broadcast requests.
+    pub piggyback_updates: bool,
+}
+
+impl Default for GroCocaToggles {
+    fn default() -> Self {
+        GroCocaToggles {
+            signature_filter: true,
+            admission_control: true,
+            cooperative_replacement: true,
+            compress_signatures: true,
+            piggyback_updates: true,
+        }
+    }
+}
+
+/// How the MSS disseminates data (the paper's Section I taxonomy).
+///
+/// The paper's evaluation uses the pull-based model; the hybrid model —
+/// a cyclic broadcast "disk" of the hottest items alongside the pull
+/// channel, which the authors study in a companion paper — is provided as
+/// an extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataDelivery {
+    /// Pull only: every server interaction is an explicit request (the
+    /// paper's evaluated model).
+    Pull,
+    /// Pull plus a push broadcast channel.
+    Hybrid {
+        /// How many of the hottest items the broadcast cycle carries.
+        push_slots: usize,
+        /// Broadcast channel bandwidth, kb/s.
+        push_kbps: u64,
+        /// How often the MSS recomputes the broadcast program, seconds.
+        refresh_secs: f64,
+        /// A host tunes in only when the item's next broadcast completes
+        /// within this many seconds; otherwise it pulls.
+        max_wait_secs: f64,
+    },
+}
+
+impl DataDelivery {
+    /// A hybrid configuration with conventional defaults (500 hot items,
+    /// a dedicated 2 Mb/s broadcast channel, 10 s refresh, 3 s patience).
+    pub fn hybrid() -> Self {
+        DataDelivery::Hybrid {
+            push_slots: 500,
+            push_kbps: 2_000,
+            refresh_secs: 10.0,
+            max_wait_secs: 3.0,
+        }
+    }
+}
+
+/// The full simulation configuration (paper Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Caching scheme under test.
+    pub scheme: Scheme,
+    /// GroCoca mechanism toggles (ablation hooks).
+    pub toggles: GroCocaToggles,
+    /// Master random seed; identical seeds give identical runs.
+    pub seed: u64,
+
+    // --- population -----------------------------------------------------
+    /// `NumClient`: number of mobile hosts.
+    pub num_clients: usize,
+    /// Members per motion group (`GroupSize`).
+    pub group_size: usize,
+    /// The mobility model (the paper uses reference point group mobility;
+    /// the alternatives are ablation extensions).
+    pub motion_model: MotionModel,
+    /// Space width and height, metres.
+    pub space: (f64, f64),
+    /// Host speed range `[v_min, v_max]`, m/s.
+    pub speed: (f64, f64),
+    /// Radius members roam around their group reference point, metres.
+    pub group_radius: f64,
+
+    // --- data & access --------------------------------------------------
+    /// `NData`: items at the server.
+    pub n_data: u64,
+    /// `DataSize`: bytes per item.
+    pub data_size: u64,
+    /// `CacheSize`: client cache capacity, items.
+    pub cache_size: usize,
+    /// Client-cache victim policy (the paper uses LRU everywhere; LFU and
+    /// FIFO are ablation baselines).
+    pub cache_policy: ReplacementPolicy,
+    /// `AccessRange`: items each motion group draws from.
+    pub access_range: u64,
+    /// Zipf skewness θ.
+    pub theta: f64,
+    /// Mean think time between a completion and the next request, seconds
+    /// (exponential; the paper uses one second).
+    pub mean_interarrival_secs: f64,
+    /// Fraction of hosts that are low-activity (their think time is
+    /// multiplied by `low_activity_slowdown`). Models the heterogeneous
+    /// populations of the authors' companion study on utilising the cache
+    /// space of low-activity clients. Zero (the paper's homogeneous
+    /// population) by default.
+    pub low_activity_fraction: f64,
+    /// Think-time multiplier for low-activity hosts.
+    pub low_activity_slowdown: f64,
+    /// GroCoca extension: when cooperative replacement would evict an
+    /// item with no replica in the group (a singlet), delegate it to a
+    /// low-activity TCG member in range instead of losing it from the
+    /// aggregate cache. Off by default (not part of the evaluated paper).
+    pub delegate_singlets: bool,
+    /// `DataUpdateRate`: server-side updates per second (0 = none).
+    pub update_rate: f64,
+    /// Pull-only (the paper) or hybrid push+pull dissemination
+    /// (extension).
+    pub delivery: DataDelivery,
+    /// EWMA weight α for per-item update intervals.
+    pub alpha: f64,
+
+    // --- network --------------------------------------------------------
+    /// Server uplink bandwidth, kb/s.
+    pub uplink_kbps: u64,
+    /// Server downlink bandwidth, kb/s.
+    pub downlink_kbps: u64,
+    /// P2P channel bandwidth, kb/s.
+    pub p2p_kbps: u64,
+    /// `TranRange`: P2P transmission range, metres.
+    pub tran_range: f64,
+    /// `HopDist`: maximum broadcast search hops.
+    pub hop_dist: u32,
+    /// Message wire sizes.
+    pub msg: MessageSizes,
+    /// Power coefficients (Table I).
+    pub power: PowerModel,
+
+    // --- COCA timeout ---------------------------------------------------
+    /// Initial-timeout congestion scale φ.
+    pub phi_initial: f64,
+    /// Adaptive-timeout deviation weight φ′ (τ = τ̄ + φ′·σ_τ).
+    pub phi_deviation: f64,
+
+    // --- GroCoca --------------------------------------------------------
+    /// Δ: weighted-average-distance threshold for TCG membership, metres.
+    pub tcg_distance: f64,
+    /// δ: access-similarity threshold for TCG membership.
+    pub tcg_similarity: f64,
+    /// EWMA weight ω for weighted average distances.
+    pub omega: f64,
+    /// Bloom filter size σ, bits.
+    pub sigma: u32,
+    /// Bloom filter hash count k.
+    pub bloom_k: u32,
+    /// Counter width π_c of the local counting filter, bits.
+    pub pi_c: u32,
+    /// `ReplaceCandidate`: how many LRU candidates cooperative replacement
+    /// considers.
+    pub replace_candidate: usize,
+    /// `ReplaceDelay`: the SingletTTL budget.
+    pub replace_delay: u32,
+    /// τ_P: explicit location/access update period, seconds.
+    pub tau_p_secs: f64,
+    /// ρ_P: portion of the peer-retrieved access history sent in an explicit
+    /// update.
+    pub rho_p: f64,
+    /// Recollect signatures only after this many members departed
+    /// (1 = immediately; the paper's dynamic-network batching knob).
+    pub recollect_threshold: u32,
+
+    // --- disconnection --------------------------------------------------
+    /// `P_disc`: disconnect probability after completing a request.
+    pub p_disc: f64,
+    /// Disconnection duration range `[d_min, d_max]`, seconds.
+    pub disc_time: (f64, f64),
+
+    // --- run control ----------------------------------------------------
+    /// Recorded requests per mobile host after warm-up (the paper runs
+    /// 2 000).
+    pub requests_per_mh: u64,
+    /// Hard cap on warm-up (fallback when caches cannot fill), seconds.
+    pub warmup_cap_secs: f64,
+    /// Period of the MSS's stale-interval aging pass, seconds.
+    pub aging_period_secs: f64,
+    /// Meter NDP beacon power (off by default: the paper assumes NDP is
+    /// freely available).
+    pub account_beacons: bool,
+    /// NDP hello-beacon period, seconds (drives both beacon power
+    /// accounting and the NDP link tables).
+    pub beacon_period_secs: f64,
+    /// Answer broadcast-reachability queries from the beacon-maintained
+    /// NDP link table instead of exact geometry. Off by default — the
+    /// paper's own simulator assumes NDP "is available" and uses true
+    /// connectivity — but turning it on models the protocol's detection
+    /// lag (stale links, late discoveries).
+    pub ndp_tables: bool,
+    /// Beacon rounds a known NDP link may miss before it is declared
+    /// failed.
+    pub ndp_miss_threshold: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheme: Scheme::GroCoca,
+            toggles: GroCocaToggles::default(),
+            seed: 0xC0CA,
+            num_clients: 100,
+            group_size: 5,
+            motion_model: MotionModel::GroupWaypoint,
+            space: (1_000.0, 1_000.0),
+            speed: (1.0, 5.0),
+            group_radius: 50.0,
+            n_data: 10_000,
+            data_size: 3_072,
+            cache_size: 100,
+            cache_policy: ReplacementPolicy::Lru,
+            access_range: 1_000,
+            theta: 0.5,
+            mean_interarrival_secs: 1.0,
+            low_activity_fraction: 0.0,
+            low_activity_slowdown: 10.0,
+            delegate_singlets: false,
+            update_rate: 0.0,
+            delivery: DataDelivery::Pull,
+            alpha: 0.5,
+            uplink_kbps: 200,
+            downlink_kbps: 2_000,
+            p2p_kbps: 2_000,
+            tran_range: 100.0,
+            hop_dist: 2,
+            msg: MessageSizes::default(),
+            power: PowerModel::default(),
+            phi_initial: 10.0,
+            phi_deviation: 3.0,
+            tcg_distance: 100.0,
+            tcg_similarity: 0.05,
+            omega: 0.5,
+            sigma: 10_000,
+            bloom_k: 2,
+            pi_c: 4,
+            replace_candidate: 5,
+            replace_delay: 2,
+            tau_p_secs: 10.0,
+            rho_p: 0.5,
+            recollect_threshold: 1,
+            p_disc: 0.0,
+            disc_time: (1.0, 5.0),
+            requests_per_mh: 300,
+            warmup_cap_secs: 2_000.0,
+            aging_period_secs: 10.0,
+            account_beacons: false,
+            beacon_period_secs: 1.0,
+            ndp_tables: false,
+            ndp_miss_threshold: 3,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration for `scheme` with everything else at Table II
+    /// defaults.
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        SimConfig {
+            scheme,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The initial peer-search timeout of Section III:
+    /// `HopDist · (|request| + |reply|) / BW_P2P · φ`.
+    pub fn initial_timeout(&self) -> SimTime {
+        let bytes = self.msg.p2p_request + self.msg.p2p_reply;
+        let secs =
+            self.hop_dist as f64 * (bytes * 8) as f64 / (self.p2p_kbps as f64 * 1_000.0);
+        SimTime::from_secs_f64(secs * self.phi_initial)
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "need at least one client");
+        assert!(self.group_size > 0, "group size must be positive");
+        assert!(self.n_data > 0, "database must be non-empty");
+        assert!(
+            (1..=self.n_data).contains(&self.access_range),
+            "access range must lie in 1..=NData"
+        );
+        assert!(self.cache_size > 0, "cache must hold at least one item");
+        assert!(self.theta >= 0.0, "Zipf skew must be non-negative");
+        assert!(self.hop_dist > 0, "HopDist must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.p_disc),
+            "disconnection probability must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.omega) && (0.0..=1.0).contains(&self.alpha),
+            "EWMA weights must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rho_p),
+            "rho_p must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.low_activity_fraction),
+            "low-activity fraction must lie in [0, 1]"
+        );
+        assert!(
+            self.low_activity_slowdown >= 1.0,
+            "low-activity slowdown must be at least 1"
+        );
+        assert!(self.sigma > 0 && self.bloom_k > 0, "bloom geometry must be positive");
+        assert!(self.requests_per_mh > 0, "must record at least one request");
+        assert!(self.replace_candidate > 0, "need at least one replacement candidate");
+        if let DataDelivery::Hybrid {
+            push_slots,
+            push_kbps,
+            refresh_secs,
+            max_wait_secs,
+        } = self.delivery
+        {
+            assert!(push_slots > 0, "a hybrid channel must carry items");
+            assert!(push_kbps > 0, "broadcast bandwidth must be positive");
+            assert!(refresh_secs > 0.0, "schedule refresh period must be positive");
+            assert!(max_wait_secs >= 0.0, "push patience cannot be negative");
+        }
+        assert!(self.speed.0 > 0.0 && self.speed.1 >= self.speed.0, "bad speed range");
+        assert!(
+            self.disc_time.1 >= self.disc_time.0 && self.disc_time.0 >= 0.0,
+            "bad disconnection time range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::Conventional.label(), "CC");
+        assert_eq!(Scheme::Coca.label(), "COCA");
+        assert_eq!(Scheme::GroCoca.label(), "GC");
+        assert!(!Scheme::Conventional.is_cooperative());
+        assert!(Scheme::Coca.is_cooperative());
+    }
+
+    #[test]
+    fn initial_timeout_formula() {
+        let cfg = SimConfig::default();
+        // (64+32) bytes = 768 bits over 2 Mb/s = 384 µs; ×2 hops ×10 = 7.68 ms.
+        assert_eq!(cfg.initial_timeout().as_micros(), 7_680);
+    }
+
+    #[test]
+    #[should_panic(expected = "access range")]
+    fn validate_rejects_oversized_access_range() {
+        let cfg = SimConfig {
+            access_range: 20_000,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "HopDist")]
+    fn validate_rejects_zero_hops() {
+        let cfg = SimConfig {
+            hop_dist: 0,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+}

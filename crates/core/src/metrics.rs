@@ -1,0 +1,207 @@
+//! Run metrics — the quantities the paper's figures plot.
+
+use grococa_power::PowerMeter;
+use grococa_sim::{SimTime, Welford};
+
+/// How a completed client request was ultimately served (Section III's four
+/// outcomes; access failures are structurally absent because the simulated
+/// MSS covers the whole space, as in the paper's experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Local cache hit.
+    Local,
+    /// Global cache hit — served from a peer's cache.
+    Global,
+    /// Served by the mobile support station.
+    Server,
+    /// Delivered by the push broadcast channel (hybrid dissemination
+    /// extension; never occurs under pull-only delivery).
+    Push,
+}
+
+/// Raw counters collected during the recorded window of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Access latency per completed request, seconds.
+    pub latency: Welford,
+    /// Completions by outcome.
+    pub local_hits: u64,
+    /// Global cache hits.
+    pub global_hits: u64,
+    /// Server-served completions.
+    pub server_requests: u64,
+    /// Completions served by the push broadcast channel.
+    pub push_hits: u64,
+    /// Global hits served by a peer of the requester's TCG.
+    pub global_hits_from_tcg: u64,
+    /// TTL-expired local copies revalidated with the MSS.
+    pub validations: u64,
+    /// Validations that returned a fresh copy (item had changed).
+    pub validation_refreshes: u64,
+    /// Peer searches that timed out.
+    pub search_timeouts: u64,
+    /// Peer searches skipped by the signature filter.
+    pub filter_bypasses: u64,
+    /// Retrieves that fell back to the server (target vanished).
+    pub retrieve_fallbacks: u64,
+    /// Cache-signature messages exchanged (SigRequest + replies).
+    pub signature_messages: u64,
+    /// Bytes of signature payload shipped over the P2P channel.
+    pub signature_bytes: u64,
+    /// Aggregate P2P NIC energy over all hosts, µW·s.
+    pub power: PowerMeter,
+    /// Broadcast request messages sent (including forwarding).
+    pub broadcasts: u64,
+    /// Cooperative-replacement victims that were group-replicated.
+    pub replicated_evictions: u64,
+    /// Items dropped because their SingletTTL expired.
+    pub singlet_drops: u64,
+    /// Singlet evictions delegated to low-activity TCG members
+    /// (cache-delegation extension).
+    pub delegations: u64,
+    /// Recorded simulated duration (post-warm-up), for rates.
+    pub recorded_duration: SimTime,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_completion(&mut self, outcome: Outcome, latency: SimTime, from_tcg: bool) {
+        self.latency.record(latency.as_secs_f64());
+        match outcome {
+            Outcome::Local => self.local_hits += 1,
+            Outcome::Global => {
+                self.global_hits += 1;
+                if from_tcg {
+                    self.global_hits_from_tcg += 1;
+                }
+            }
+            Outcome::Server => self.server_requests += 1,
+            Outcome::Push => self.push_hits += 1,
+        }
+    }
+
+    /// Completed requests in the recorded window.
+    pub fn completed(&self) -> u64 {
+        self.local_hits + self.global_hits + self.server_requests + self.push_hits
+    }
+
+    /// Condenses the counters into the report the figures print.
+    pub fn report(&self) -> Report {
+        let total = self.completed().max(1) as f64;
+        Report {
+            completed: self.completed(),
+            access_latency_ms: self.latency.mean() * 1_000.0,
+            latency_stddev_ms: self.latency.stddev() * 1_000.0,
+            local_hit_ratio_pct: self.local_hits as f64 / total * 100.0,
+            global_hit_ratio_pct: self.global_hits as f64 / total * 100.0,
+            server_request_ratio_pct: self.server_requests as f64 / total * 100.0,
+            push_hit_ratio_pct: self.push_hits as f64 / total * 100.0,
+            tcg_share_of_global_pct: if self.global_hits == 0 {
+                0.0
+            } else {
+                self.global_hits_from_tcg as f64 / self.global_hits as f64 * 100.0
+            },
+            total_power_uws: self.power.total_uws(),
+            power_per_gch_uws: if self.global_hits == 0 {
+                f64::INFINITY
+            } else {
+                self.power.total_uws() / self.global_hits as f64
+            },
+            power_per_request_uws: self.power.total_uws() / total,
+            signature_messages: self.signature_messages,
+            signature_bytes: self.signature_bytes,
+            search_timeouts: self.search_timeouts,
+            filter_bypasses: self.filter_bypasses,
+            validations: self.validations,
+        }
+    }
+}
+
+/// The derived per-run summary printed by the figure harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Requests completed in the recorded window.
+    pub completed: u64,
+    /// Mean access latency, milliseconds (Figures 2a/3a/4a/5a/7a/8a).
+    pub access_latency_ms: f64,
+    /// Latency standard deviation, milliseconds.
+    pub latency_stddev_ms: f64,
+    /// Local cache hit ratio, percent.
+    pub local_hit_ratio_pct: f64,
+    /// Global cache hit ratio, percent (Figures 2c/3c/4c/5c/6a/8c).
+    pub global_hit_ratio_pct: f64,
+    /// Server request ratio, percent (Figures 2b/3b/4b/8b).
+    pub server_request_ratio_pct: f64,
+    /// Push broadcast hit ratio, percent (hybrid extension; zero under
+    /// pull-only delivery).
+    pub push_hit_ratio_pct: f64,
+    /// Share of global hits served inside the requester's TCG, percent.
+    pub tcg_share_of_global_pct: f64,
+    /// Total P2P power, µW·s.
+    pub total_power_uws: f64,
+    /// Power per global cache hit, µW·s (Figures 2d/3d/4d/5d/6b/7b/8d);
+    /// infinite when no global hit occurred (e.g. conventional caching).
+    pub power_per_gch_uws: f64,
+    /// Power per completed request, µW·s.
+    pub power_per_request_uws: f64,
+    /// Signature messages exchanged.
+    pub signature_messages: u64,
+    /// Signature payload bytes shipped.
+    pub signature_bytes: u64,
+    /// Peer-search timeouts.
+    pub search_timeouts: u64,
+    /// Signature-filter bypasses.
+    pub filter_bypasses: u64,
+    /// TTL revalidations performed.
+    pub validations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_sum_to_one_hundred() {
+        let mut m = Metrics::new();
+        m.record_completion(Outcome::Local, SimTime::ZERO, false);
+        m.record_completion(Outcome::Global, SimTime::from_millis(10), true);
+        m.record_completion(Outcome::Global, SimTime::from_millis(20), false);
+        m.record_completion(Outcome::Server, SimTime::from_millis(50), false);
+        let r = m.report();
+        assert_eq!(m.completed(), 4);
+        let sum = r.local_hit_ratio_pct
+            + r.global_hit_ratio_pct
+            + r.server_request_ratio_pct
+            + r.push_hit_ratio_pct;
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(r.tcg_share_of_global_pct, 50.0);
+        assert_eq!(r.completed, 4);
+    }
+
+    #[test]
+    fn latency_mean_in_milliseconds() {
+        let mut m = Metrics::new();
+        m.record_completion(Outcome::Server, SimTime::from_millis(30), false);
+        m.record_completion(Outcome::Server, SimTime::from_millis(50), false);
+        assert!((m.report().access_latency_ms - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_per_gch_infinite_without_hits() {
+        let m = Metrics::new();
+        assert!(m.report().power_per_gch_uws.is_infinite());
+    }
+
+    #[test]
+    fn empty_metrics_report_is_finite() {
+        let r = Metrics::new().report();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.access_latency_ms, 0.0);
+        assert_eq!(r.server_request_ratio_pct, 0.0);
+    }
+}

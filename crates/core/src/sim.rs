@@ -1,0 +1,1548 @@
+//! The GroCoca discrete-event simulation: COCA's communication protocol
+//! (Section III) plus all of GroCoca's mechanisms (Section IV), over the
+//! mobility, network, power and workload substrates.
+//!
+//! One [`Simulation`] runs one configuration to completion and yields a
+//! [`RunOutput`] with the metrics the paper's figures plot. Runs are
+//! deterministic in the configuration seed.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use grococa_mobility::{FieldConfig, MobilityField};
+use grococa_net::{Ndp, NdpConfig, P2pChannel, PushSchedule, ServerChannel};
+use grococa_power::{BroadcastRole, P2pRole};
+use grococa_sim::{transmission_time, Scheduler, SimRng, SimTime};
+use grococa_signature::{compression_choice, data_positions, BloomFilter, CompressedSignature};
+use grococa_workload::{AccessPattern, ItemId, ServerDb};
+
+use crate::config::{DataDelivery, Scheme, SimConfig};
+use crate::host::{Host, Pending, Phase};
+use crate::metrics::{Metrics, Outcome, Report};
+use crate::trace::{TraceKind, Tracer};
+use crate::tcg::{MembershipChange, TcgDirectory};
+
+/// Simulation events. Each carries the minimum identifying state; handlers
+/// re-validate against the current world (generation numbers, connectivity)
+/// so stale deliveries are ignored, never mis-applied.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// A host wakes up to issue its next request.
+    NextRequest { mh: usize },
+    /// A broadcast search request reaches a peer.
+    PeerRequest {
+        requester: usize,
+        gen: u64,
+        peer: usize,
+        item: ItemId,
+        updates: Option<Rc<(Vec<u32>, Vec<u32>)>>,
+    },
+    /// A peer's "I have it" reply reaches the requester.
+    Reply { requester: usize, gen: u64, from: usize },
+    /// The requester's retrieve reaches the chosen target peer.
+    Retrieve { requester: usize, gen: u64 },
+    /// The target peer's data message reaches the requester.
+    PeerData {
+        requester: usize,
+        gen: u64,
+        from: usize,
+        expiry: SimTime,
+    },
+    /// The adaptive peer-search timeout τ fired.
+    SearchTimeout { requester: usize, gen: u64 },
+    /// A request reaches the MSS over the uplink.
+    ServerRequest { mh: usize, gen: u64 },
+    /// The MSS's data message reaches the host over the downlink.
+    ServerData {
+        mh: usize,
+        gen: u64,
+        expiry: SimTime,
+        t_r: SimTime,
+        changes: Vec<MembershipChange>,
+    },
+    /// A TTL validation request reaches the MSS.
+    ValidationRequest { mh: usize, gen: u64 },
+    /// The MSS approved the cached copy (not modified); new TTL attached.
+    ValidationOk {
+        mh: usize,
+        gen: u64,
+        expiry: SimTime,
+        t_r: SimTime,
+        changes: Vec<MembershipChange>,
+    },
+    /// A `SigRequest` reaches a host. `members` is present on broadcast
+    /// recollection requests and lists who must answer.
+    SigRequest {
+        from: usize,
+        to: usize,
+        members: Option<Rc<Vec<usize>>>,
+    },
+    /// A full cache signature reaches the host that asked for it.
+    SigReply {
+        from: usize,
+        to: usize,
+        sig: Rc<BloomFilter>,
+    },
+    /// A disconnected host comes back.
+    Reconnect { mh: usize },
+    /// A reconnection membership sync reaches the MSS.
+    ReconnectSync { mh: usize },
+    /// The MSS's full-membership answer reaches the host.
+    ReconnectSyncDone { mh: usize, members: Vec<usize> },
+    /// An explicit location/access update timer (τ_P) fired at a host.
+    ExplicitUpdate { mh: usize },
+    /// The explicit update reaches the MSS; `sample` is the ρ_P portion of
+    /// the peer-retrieved access history.
+    ExplicitUpdateAtMss { mh: usize, sample: Vec<ItemId> },
+    /// The MSS's membership-change answer to an explicit update arrives.
+    MembershipNews { mh: usize, changes: Vec<MembershipChange> },
+    /// The server-side Poisson update process ticks.
+    DbUpdate,
+    /// The MSS's periodic stale-interval aging pass.
+    AgeIntervals,
+    /// Warm-up hard cap reached.
+    WarmupCap,
+    /// Periodic NDP beacon power-accounting tick (only when
+    /// `account_beacons` is enabled).
+    BeaconTick,
+    /// A delegated singlet item arrives at a low-activity TCG member
+    /// (cache-delegation extension).
+    Delegated { to: usize, item: ItemId, expiry: SimTime },
+    /// The MSS recomputes the push broadcast program (hybrid delivery).
+    RefreshPushSchedule,
+    /// The push channel finishes broadcasting the item a host tuned in
+    /// for.
+    PushArrive { mh: usize, gen: u64 },
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The derived per-run summary (what the figures plot).
+    pub report: Report,
+    /// The raw counters behind the report.
+    pub metrics: Metrics,
+    /// Simulated time at which warm-up finished.
+    pub warmed_at: SimTime,
+    /// Simulated time at which the run stopped.
+    pub finished_at: SimTime,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Downlink utilisation over the recorded window.
+    pub downlink_utilisation: f64,
+}
+
+/// One configured simulation instance.
+///
+/// # Examples
+///
+/// ```no_run
+/// use grococa_core::{Scheme, SimConfig, Simulation};
+///
+/// let mut cfg = SimConfig::for_scheme(Scheme::GroCoca);
+/// cfg.num_clients = 50;
+/// cfg.requests_per_mh = 100;
+/// let out = Simulation::new(cfg).run();
+/// println!("latency {:.1} ms", out.report.access_latency_ms);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    field: MobilityField,
+    p2p: P2pChannel,
+    server: ServerChannel,
+    pattern: AccessPattern,
+    db: ServerDb,
+    dir: Option<TcgDirectory>,
+    hosts: Vec<Host>,
+    push: PushSchedule,
+    popularity: Vec<u64>,
+    low_activity: Vec<bool>,
+    ndp: Option<Ndp>,
+    active: Vec<bool>,
+    host_rngs: Vec<SimRng>,
+    rng_updates: SimRng,
+    metrics: Metrics,
+    tracer: Option<Tracer>,
+    last_event_time: SimTime,
+    warm: bool,
+    warmed_at: SimTime,
+    full_caches: usize,
+    completed_recorded: u64,
+    target_completed: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        let n = cfg.num_clients;
+        let field = MobilityField::new(
+            FieldConfig {
+                model: cfg.motion_model,
+                width: cfg.space.0,
+                height: cfg.space.1,
+                v_min: cfg.speed.0,
+                v_max: cfg.speed.1,
+                pause: SimTime::from_secs(1),
+                group_size: cfg.group_size,
+                group_radius: cfg.group_radius,
+            },
+            n,
+            cfg.seed,
+        );
+        let groups = (0..n).map(|i| field.group_of(i)).max().unwrap_or(0) + 1;
+        let mut rng_pattern = SimRng::substream(cfg.seed, 2);
+        let pattern =
+            AccessPattern::new(cfg.n_data, cfg.access_range, cfg.theta, groups, &mut rng_pattern);
+        let hosts = (0..n)
+            .map(|i| {
+                Host::new(
+                    i,
+                    cfg.cache_size,
+                    cfg.cache_policy,
+                    cfg.sigma,
+                    cfg.bloom_k,
+                    cfg.pi_c,
+                    cfg.replace_delay,
+                )
+            })
+            .collect();
+        let dir = (cfg.scheme == Scheme::GroCoca).then(|| {
+            TcgDirectory::new(n, cfg.n_data, cfg.tcg_distance, cfg.tcg_similarity, cfg.omega)
+        });
+        Simulation {
+            field,
+            p2p: P2pChannel::new(n, cfg.p2p_kbps),
+            server: ServerChannel::new(cfg.uplink_kbps, cfg.downlink_kbps),
+            pattern,
+            db: ServerDb::new(cfg.n_data, cfg.alpha),
+            dir,
+            hosts,
+            push: PushSchedule::default(),
+            popularity: vec![0; cfg.n_data as usize],
+            low_activity: {
+                // A deterministic sample of ⌊n·f⌋ hosts, spread across
+                // motion groups by a seeded shuffle.
+                let mut mask = vec![false; n];
+                let count = (n as f64 * cfg.low_activity_fraction).floor() as usize;
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = SimRng::substream(cfg.seed, 3);
+                for i in (1..order.len()).rev() {
+                    let j = rng.uniform_usize(i + 1);
+                    order.swap(i, j);
+                }
+                for &i in order.iter().take(count) {
+                    mask[i] = true;
+                }
+                mask
+            },
+            ndp: cfg.ndp_tables.then(|| {
+                Ndp::new(
+                    n,
+                    NdpConfig {
+                        miss_threshold: cfg.ndp_miss_threshold,
+                    },
+                )
+            }),
+            active: vec![true; n],
+            host_rngs: (0..n)
+                .map(|i| SimRng::substream(cfg.seed, 1_000 + i as u64))
+                .collect(),
+            rng_updates: SimRng::substream(cfg.seed, 1),
+            metrics: Metrics::new(),
+            tracer: None,
+            last_event_time: SimTime::ZERO,
+            warm: false,
+            warmed_at: SimTime::ZERO,
+            full_caches: 0,
+            completed_recorded: 0,
+            target_completed: cfg.requests_per_mh * n as u64,
+            cfg,
+        }
+    }
+
+    /// The configuration this simulation runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The MSS's TCG directory (present only under [`Scheme::GroCoca`]) —
+    /// exposed for inspection, tests and the example binaries.
+    pub fn tcg_directory(&self) -> Option<&TcgDirectory> {
+        self.dir.as_ref()
+    }
+
+    /// Attaches a trace sink recording the protocol lifecycle of every
+    /// request. Retrieve it after [`Simulation::run_inspect`] via
+    /// [`Simulation::tracer`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn trace(&mut self, time: SimTime, mh: usize, kind: TraceKind) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record(time, mh, kind);
+        }
+    }
+
+    /// The motion group of host `mh` (delegates to the mobility field).
+    pub fn group_of(&self, mh: usize) -> usize {
+        self.field.group_of(mh)
+    }
+
+    /// Runs the simulation like [`Simulation::run`] but returns the whole
+    /// world alongside the output, for post-mortem inspection.
+    pub fn run_inspect(mut self) -> (RunOutput, Simulation) {
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        self.bootstrap(&mut sched);
+        while let Some((_, ev)) = sched.pop() {
+            self.handle(&mut sched, ev);
+            if self.completed_recorded >= self.target_completed {
+                break;
+            }
+        }
+        let finished_at = sched.now();
+        self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
+        let out = RunOutput {
+            report: self.metrics.report(),
+            warmed_at: self.warmed_at,
+            finished_at,
+            events: sched.events_fired(),
+            downlink_utilisation: self
+                .server
+                .downlink_utilisation(finished_at.max(SimTime::from_micros(1))),
+            metrics: self.metrics.clone(),
+        };
+        (out, self)
+    }
+
+    /// Runs to completion and returns the collected metrics.
+    pub fn run(self) -> RunOutput {
+        self.run_inspect().0
+    }
+
+    fn bootstrap(&mut self, sched: &mut Scheduler<Ev>) {
+        for mh in 0..self.hosts.len() {
+            let mean = self.mean_think(mh);
+            let think = self.host_rngs[mh].exponential(mean);
+            sched.schedule_at(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
+            if self.cfg.scheme == Scheme::GroCoca {
+                sched.schedule_at(
+                    SimTime::from_secs_f64(self.cfg.tau_p_secs),
+                    Ev::ExplicitUpdate { mh },
+                );
+            }
+        }
+        if self.cfg.update_rate > 0.0 {
+            let gap = self.rng_updates.exponential(1.0 / self.cfg.update_rate);
+            sched.schedule_at(SimTime::from_secs_f64(gap), Ev::DbUpdate);
+            sched.schedule_at(
+                SimTime::from_secs_f64(self.cfg.aging_period_secs),
+                Ev::AgeIntervals,
+            );
+        }
+        sched.schedule_at(
+            SimTime::from_secs_f64(self.cfg.warmup_cap_secs),
+            Ev::WarmupCap,
+        );
+        if self.cfg.account_beacons || self.cfg.ndp_tables {
+            sched.schedule_at(
+                SimTime::from_secs_f64(self.cfg.beacon_period_secs),
+                Ev::BeaconTick,
+            );
+        }
+        if let DataDelivery::Hybrid { refresh_secs, .. } = self.cfg.delivery {
+            sched.schedule_at(
+                SimTime::from_secs_f64(refresh_secs),
+                Ev::RefreshPushSchedule,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        self.last_event_time = sched.now();
+        match ev {
+            Ev::NextRequest { mh } => self.on_next_request(sched, mh),
+            Ev::PeerRequest {
+                requester,
+                gen,
+                peer,
+                item,
+                updates,
+            } => self.on_peer_request(sched, requester, gen, peer, item, updates),
+            Ev::Reply { requester, gen, from } => self.on_reply(sched, requester, gen, from),
+            Ev::Retrieve { requester, gen } => self.on_retrieve(sched, requester, gen),
+            Ev::PeerData {
+                requester,
+                gen,
+                from,
+                expiry,
+            } => self.on_peer_data(sched, requester, gen, from, expiry),
+            Ev::SearchTimeout { requester, gen } => self.on_search_timeout(sched, requester, gen),
+            Ev::ServerRequest { mh, gen } => self.on_server_request(sched, mh, gen),
+            Ev::ServerData {
+                mh,
+                gen,
+                expiry,
+                t_r,
+                changes,
+            } => self.on_server_data(sched, mh, gen, expiry, t_r, changes),
+            Ev::ValidationRequest { mh, gen } => self.on_validation_request(sched, mh, gen),
+            Ev::ValidationOk {
+                mh,
+                gen,
+                expiry,
+                t_r,
+                changes,
+            } => self.on_validation_ok(sched, mh, gen, expiry, t_r, changes),
+            Ev::SigRequest { from, to, members } => self.on_sig_request(sched, from, to, members),
+            Ev::SigReply { from, to, sig } => self.on_sig_reply(from, to, sig),
+            Ev::Reconnect { mh } => self.on_reconnect(sched, mh),
+            Ev::ReconnectSync { mh } => self.on_reconnect_sync(sched, mh),
+            Ev::ReconnectSyncDone { mh, members } => {
+                self.on_reconnect_sync_done(sched, mh, members)
+            }
+            Ev::ExplicitUpdate { mh } => self.on_explicit_update(sched, mh),
+            Ev::ExplicitUpdateAtMss { mh, sample } => {
+                self.on_explicit_update_at_mss(sched, mh, sample)
+            }
+            Ev::MembershipNews { mh, changes } => self.apply_membership(sched, mh, changes),
+            Ev::DbUpdate => self.on_db_update(sched),
+            Ev::AgeIntervals => self.on_age_intervals(sched),
+            Ev::WarmupCap => self.begin_recording(sched.now()),
+            Ev::BeaconTick => self.on_beacon_tick(sched),
+            Ev::Delegated { to, item, expiry } => self.on_delegated(sched.now(), to, item, expiry),
+            Ev::RefreshPushSchedule => self.on_refresh_push(sched),
+            Ev::PushArrive { mh, gen } => self.on_push_arrive(sched, mh, gen),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_next_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+        if !self.hosts[mh].connected {
+            return; // reconnection reschedules
+        }
+        let now = sched.now();
+        let group = self.field.group_of(mh);
+        let item = self.pattern.sample(group, &mut self.host_rngs[mh]);
+        let host = &mut self.hosts[mh];
+        host.gen += 1;
+        let gen = host.gen;
+        host.pending = Some(Pending {
+            gen,
+            item,
+            issued_at: now,
+            recorded: self.warm,
+            phase: Phase::Searching,
+            broadcast_at: now,
+            timeout: None,
+            target: None,
+            validating_t_r: SimTime::ZERO,
+        });
+        self.trace(now, mh, TraceKind::RequestIssued { item });
+        let host = &mut self.hosts[mh];
+
+        // 1. Local cache.
+        if let Some(entry) = host.cache.peek(item).copied() {
+            if entry.is_valid(now) {
+                host.cache.get(item, now);
+                self.trace(now, mh, TraceKind::LocalHit);
+                self.complete(sched, mh, Outcome::Local, false);
+            } else {
+                // TTL expired: consult the MSS (Section IV.F).
+                let host = &mut self.hosts[mh];
+                let p = host.pending.as_mut().expect("request just created");
+                p.phase = Phase::Validating;
+                p.validating_t_r = entry.retrieved_at;
+                if self.warm {
+                    self.metrics.validations += 1;
+                }
+                let arr = self
+                    .server
+                    .request_arrival(now, self.cfg.msg.validation);
+                self.hosts[mh].last_server_contact = now;
+                self.trace(now, mh, TraceKind::ValidationStarted);
+                sched.schedule_at(arr, Ev::ValidationRequest { mh, gen });
+            }
+            return;
+        }
+
+        // 2. Local miss: under hybrid delivery, tune in to the broadcast
+        // channel when the item airs soon enough (costs nothing on the
+        // metered P2P NIC).
+        if self.try_tune_in(sched, mh, gen, item) {
+            return;
+        }
+
+        // 3. Peer search or straight to the MSS.
+        if self.cfg.scheme.is_cooperative() && self.should_search_peers(mh, item) {
+            self.start_search(sched, mh, gen, item);
+        } else {
+            self.enter_server_phase(sched, mh, gen);
+        }
+    }
+
+    /// Hybrid delivery: if `item` is on the broadcast program and its next
+    /// slot completes within the configured patience, wait for it.
+    fn try_tune_in(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64, item: ItemId) -> bool {
+        let DataDelivery::Hybrid { max_wait_secs, .. } = self.cfg.delivery else {
+            return false;
+        };
+        let now = sched.now();
+        let Some(delivery) = self.push.next_delivery(item.as_u64(), now) else {
+            return false;
+        };
+        if delivery.saturating_sub(now) > SimTime::from_secs_f64(max_wait_secs) {
+            return false;
+        }
+        let p = self.hosts[mh]
+            .pending
+            .as_mut()
+            .expect("request just created");
+        p.phase = Phase::Tuning;
+        sched.schedule_at(delivery, Ev::PushArrive { mh, gen });
+        true
+    }
+
+    fn on_push_arrive(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        if !self.hosts[mh].pending_matches(gen, Phase::Tuning) {
+            return;
+        }
+        let now = sched.now();
+        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        // The broadcast copy is fresh from the server.
+        let expiry = self.db.expiry_for(item, now);
+        self.admit_item(sched, mh, item, expiry, None);
+        self.hosts[mh].cache.set_expiry(item, expiry, now);
+        self.trace(now, mh, TraceKind::PushDelivered);
+        self.complete(sched, mh, Outcome::Push, false);
+    }
+
+    /// The MSS recomputes the broadcast program: the `push_slots` hottest
+    /// items by observed popularity, each in one transmission-time slot.
+    fn on_refresh_push(&mut self, sched: &mut Scheduler<Ev>) {
+        let DataDelivery::Hybrid {
+            push_slots,
+            push_kbps,
+            refresh_secs,
+            ..
+        } = self.cfg.delivery
+        else {
+            return;
+        };
+        sched.schedule_after(SimTime::from_secs_f64(refresh_secs), Ev::RefreshPushSchedule);
+        let mut ranked: Vec<u64> = (0..self.popularity.len() as u64).collect();
+        ranked.sort_by_key(|&i| std::cmp::Reverse((self.popularity[i as usize], std::cmp::Reverse(i))));
+        let hot: Vec<u64> = ranked
+            .into_iter()
+            .take(push_slots)
+            .filter(|&i| self.popularity[i as usize] > 0)
+            .collect();
+        if hot.is_empty() {
+            return;
+        }
+        let slot = transmission_time(self.cfg.msg.data_message(), push_kbps);
+        self.push = PushSchedule::new(hot, slot);
+    }
+
+    /// GroCoca's filtering mechanism: test the search signature against the
+    /// peer signature; a host with no TCG members has no filter information
+    /// and searches unconditionally (COCA behaviour).
+    fn should_search_peers(&mut self, mh: usize, item: ItemId) -> bool {
+        if self.cfg.scheme != Scheme::GroCoca || !self.cfg.toggles.signature_filter {
+            return true;
+        }
+        let host = &self.hosts[mh];
+        if host.tcg.is_empty() {
+            return true;
+        }
+        let positions = data_positions(item.as_u64(), self.cfg.sigma, self.cfg.bloom_k);
+        if host.peer_vector.covers(&positions) {
+            true
+        } else {
+            if self.warm {
+                self.metrics.filter_bypasses += 1;
+            }
+            self.trace_now(mh, TraceKind::FilterBypass);
+            false
+        }
+    }
+
+    /// Trace helper for spots where only a host is at hand; stamps the
+    /// record with the last dispatched event's time.
+    fn trace_now(&mut self, mh: usize, kind: TraceKind) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record(self.last_event_time, mh, kind);
+        }
+    }
+
+    fn start_search(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64, item: ItemId) {
+        let now = sched.now();
+        let updates = if self.cfg.scheme == Scheme::GroCoca && self.cfg.toggles.piggyback_updates {
+            let (ins, evs) = self.hosts[mh].take_update_lists();
+            if ins.is_empty() && evs.is_empty() {
+                None
+            } else {
+                Some(Rc::new((ins, evs)))
+            }
+        } else {
+            None
+        };
+        let entries = updates.as_ref().map_or(0, |u| u.0.len() + u.1.len());
+        let bytes = self.cfg.msg.request_with_updates(entries);
+        let sent_done = self.p2p.send(mh, now, bytes);
+        let reached = self.broadcast_reach(mh, now);
+        self.charge_broadcast(mh, &reached, bytes);
+        for &(peer, hop) in &reached {
+            let at = self.p2p.broadcast_delivery(sent_done, bytes, hop);
+            sched.schedule_at(
+                at,
+                Ev::PeerRequest {
+                    requester: mh,
+                    gen,
+                    peer,
+                    item,
+                    updates: updates.clone(),
+                },
+            );
+        }
+        self.trace(
+            now,
+            mh,
+            TraceKind::SearchStarted {
+                peers_reached: reached.len(),
+            },
+        );
+        let tau = self.search_timeout(mh);
+        let host = &mut self.hosts[mh];
+        let p = host.pending.as_mut().expect("search on live request");
+        p.broadcast_at = now;
+        p.timeout = Some(sched.schedule_after(tau, Ev::SearchTimeout { requester: mh, gen }));
+    }
+
+    /// Who a broadcast from `mh` reaches within `HopDist` hops: exact
+    /// geometry by default, or the (possibly stale) NDP link table when
+    /// `ndp_tables` is enabled.
+    fn broadcast_reach(&mut self, mh: usize, now: SimTime) -> Vec<(usize, u32)> {
+        match &self.ndp {
+            Some(ndp) => ndp
+                .reachable_within_hops(mh, self.cfg.hop_dist)
+                .into_iter()
+                .filter(|&(peer, _)| self.active[peer])
+                .collect(),
+            None => self.field.reachable_within_hops(
+                mh,
+                self.cfg.tran_range,
+                self.cfg.hop_dist,
+                now,
+                &self.active,
+            ),
+        }
+    }
+
+    /// The adaptive timeout of Section III: τ = τ̄ + φ′·σ_τ, floored at the
+    /// initial estimate (the HopDist round-trip scaled by the congestion
+    /// factor φ). The floor keeps adaptivity one-sided: τ *grows* under
+    /// congestion but never shrinks below the design baseline — without it,
+    /// near-deterministic reply delays make σ_τ ≈ 0 and the timeout races
+    /// (and, by FIFO tie-break, beats) every reply it has ever observed.
+    fn search_timeout(&self, mh: usize) -> SimTime {
+        let stats = &self.hosts[mh].search_stats;
+        let baseline = self.cfg.initial_timeout();
+        if stats.count() == 0 {
+            baseline
+        } else {
+            SimTime::from_secs_f64(
+                stats.mean() + self.cfg.phi_deviation * stats.stddev(),
+            )
+            .max(baseline)
+        }
+    }
+
+    fn on_peer_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+        peer: usize,
+        item: ItemId,
+        updates: Option<Rc<(Vec<u32>, Vec<u32>)>>,
+    ) {
+        if !self.hosts[peer].connected {
+            return;
+        }
+        let now = sched.now();
+        // Piggybacked signature updates apply when the requester is in the
+        // receiver's TCG (Section IV.D.4).
+        if let Some(u) = updates {
+            if self.hosts[peer].tcg.contains(&requester) {
+                self.hosts[peer].peer_vector.apply_update(&u.0, &u.1);
+            }
+        }
+        // A peer only turns in a TTL-valid copy (Section IV.F).
+        if self.hosts[peer].has_valid(item, now) {
+            let done = self.p2p.send(peer, now, self.cfg.msg.p2p_reply);
+            self.charge_p2p(peer, requester, self.cfg.msg.p2p_reply, now);
+            sched.schedule_at(done, Ev::Reply { requester, gen, from: peer });
+        }
+    }
+
+    fn on_reply(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64, from: usize) {
+        if !self.hosts[requester].pending_matches(gen, Phase::Searching) {
+            return; // late or duplicate reply
+        }
+        let now = sched.now();
+        let host = &mut self.hosts[requester];
+        let p = host.pending.as_mut().expect("guard passed");
+        let observed = now.saturating_sub(p.broadcast_at);
+        host.search_stats.record(observed.as_secs_f64());
+        let p = self.hosts[requester].pending.as_mut().expect("guard passed");
+        if let Some(id) = p.timeout.take() {
+            sched.cancel(id);
+        }
+        p.phase = Phase::Retrieving;
+        p.target = Some(from);
+        self.trace(now, requester, TraceKind::ReplyAccepted { from });
+        let done = self.p2p.send(requester, now, self.cfg.msg.p2p_retrieve);
+        self.charge_p2p(requester, from, self.cfg.msg.p2p_retrieve, now);
+        sched.schedule_at(done, Ev::Retrieve { requester, gen });
+    }
+
+    fn on_retrieve(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+        if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
+            return;
+        }
+        let now = sched.now();
+        let (item, target) = {
+            let p = self.hosts[requester].pending.as_ref().expect("guard passed");
+            (p.item, p.target.expect("retrieving implies a target"))
+        };
+        if !self.hosts[target].connected || !self.hosts[target].has_valid(item, now) {
+            // The target vanished or evicted/expired the copy since its
+            // reply: fall back to the MSS.
+            if self.warm {
+                self.metrics.retrieve_fallbacks += 1;
+            }
+            self.enter_server_phase(sched, requester, gen);
+            return;
+        }
+        // Cooperative admission, provider side: a TCG member serving the
+        // item refreshes its last-access timestamp so the copy is retained
+        // longer in the global cache.
+        if self.cfg.scheme == Scheme::GroCoca
+            && self.cfg.toggles.admission_control
+            && self.hosts[target].tcg.contains(&requester)
+        {
+            self.hosts[target].cache.touch(item, now);
+        }
+        let expiry = self.hosts[target]
+            .cache
+            .peek(item)
+            .expect("validity just checked")
+            .expires_at;
+        let bytes = self.cfg.msg.data_message();
+        let done = self.p2p.send(target, now, bytes);
+        self.charge_p2p(target, requester, bytes, now);
+        sched.schedule_at(
+            done,
+            Ev::PeerData {
+                requester,
+                gen,
+                from: target,
+                expiry,
+            },
+        );
+    }
+
+    fn on_peer_data(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+        from: usize,
+        expiry: SimTime,
+    ) {
+        if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
+            return;
+        }
+        let item = self.hosts[requester].pending.as_ref().expect("guard passed").item;
+        let from_tcg = self.cfg.scheme == Scheme::GroCoca && self.hosts[requester].tcg.contains(&from);
+        self.admit_item(sched, requester, item, expiry, Some((from, from_tcg)));
+        if self.cfg.scheme == Scheme::GroCoca {
+            self.hosts[requester].peer_retrieved_log.push(item);
+        }
+        self.trace(sched.now(), requester, TraceKind::GlobalHit { from });
+        self.complete(sched, requester, Outcome::Global, from_tcg);
+    }
+
+    fn on_search_timeout(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+        if !self.hosts[requester].pending_matches(gen, Phase::Searching) {
+            return;
+        }
+        if self.warm {
+            self.metrics.search_timeouts += 1;
+        }
+        self.trace(sched.now(), requester, TraceKind::SearchTimedOut);
+        self.enter_server_phase(sched, requester, gen);
+    }
+
+    fn enter_server_phase(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        let now = sched.now();
+        let host = &mut self.hosts[mh];
+        let Some(p) = host.pending_mut(gen) else { return };
+        p.phase = Phase::Server;
+        p.timeout = None;
+        host.last_server_contact = now;
+        self.trace(now, mh, TraceKind::ServerContacted);
+        let arr = self.server.request_arrival(now, self.cfg.msg.server_request);
+        sched.schedule_at(arr, Ev::ServerRequest { mh, gen });
+    }
+
+    fn on_server_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        if !self.hosts[mh].pending_matches(gen, Phase::Server) {
+            return;
+        }
+        let now = sched.now();
+        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        self.popularity[item.index()] += 1;
+        let changes = self.mss_observe(mh, Some(item), now);
+        let expiry = self.db.expiry_for(item, now);
+        let bytes = self.cfg.msg.data_message()
+            + self.cfg.msg.per_list_entry * changes.len() as u64;
+        let arr = self.server.response_arrival(now, bytes);
+        sched.schedule_at(
+            arr,
+            Ev::ServerData {
+                mh,
+                gen,
+                expiry,
+                t_r: now,
+                changes,
+            },
+        );
+    }
+
+    fn on_server_data(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+        expiry: SimTime,
+        t_r: SimTime,
+        changes: Vec<MembershipChange>,
+    ) {
+        let matches_server = self.hosts[mh].pending_matches(gen, Phase::Server)
+            || self.hosts[mh].pending_matches(gen, Phase::Validating);
+        if !matches_server {
+            return;
+        }
+        self.apply_membership(sched, mh, changes);
+        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        self.admit_item(sched, mh, item, expiry, None);
+        // Record the true retrieve time for future validations.
+        self.hosts[mh].cache.set_expiry(item, expiry, t_r);
+        self.trace(sched.now(), mh, TraceKind::ServerDelivered);
+        self.complete(sched, mh, Outcome::Server, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Cache consistency (Section IV.F)
+    // ------------------------------------------------------------------
+
+    fn on_validation_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
+            return;
+        }
+        let now = sched.now();
+        let (item, t_r) = {
+            let p = self.hosts[mh].pending.as_ref().expect("guard passed");
+            (p.item, p.validating_t_r)
+        };
+        self.popularity[item.index()] += 1;
+        let changes = self.mss_observe(mh, Some(item), now);
+        let expiry = self.db.expiry_for(item, now);
+        if self.db.modified_since(item, t_r) {
+            // Fresh copy required: full data message downlink.
+            if self.warm {
+                self.metrics.validation_refreshes += 1;
+            }
+            let bytes = self.cfg.msg.data_message()
+                + self.cfg.msg.per_list_entry * changes.len() as u64;
+            let arr = self.server.response_arrival(now, bytes);
+            sched.schedule_at(
+                arr,
+                Ev::ServerData {
+                    mh,
+                    gen,
+                    expiry,
+                    t_r: now,
+                    changes,
+                },
+            );
+        } else {
+            let bytes =
+                self.cfg.msg.validation + self.cfg.msg.per_list_entry * changes.len() as u64;
+            let arr = self.server.response_arrival(now, bytes);
+            sched.schedule_at(
+                arr,
+                Ev::ValidationOk {
+                    mh,
+                    gen,
+                    expiry,
+                    t_r: now,
+                    changes,
+                },
+            );
+        }
+    }
+
+    fn on_validation_ok(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+        expiry: SimTime,
+        t_r: SimTime,
+        changes: Vec<MembershipChange>,
+    ) {
+        if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
+            return;
+        }
+        self.apply_membership(sched, mh, changes);
+        let now = sched.now();
+        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        let host = &mut self.hosts[mh];
+        host.cache.set_expiry(item, expiry, t_r);
+        host.cache.get(item, now);
+        self.complete(sched, mh, Outcome::Local, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Admission control & cooperative replacement (Section IV.E)
+    // ------------------------------------------------------------------
+
+    /// Inserts a freshly obtained item, applying GroCoca's cooperative
+    /// admission control and replacement when enabled. `provider` is
+    /// `Some((peer, in_tcg))` for global hits, `None` for server copies.
+    fn admit_item(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        item: ItemId,
+        expiry: SimTime,
+        provider: Option<(usize, bool)>,
+    ) {
+        let now = sched.now();
+        let grococa = self.cfg.scheme == Scheme::GroCoca;
+        let host = &mut self.hosts[mh];
+        if host.cache.contains(item) {
+            host.cache.insert(item, now, expiry); // refresh in place
+            return;
+        }
+        if host.cache.is_full() {
+            // Cooperative admission: an item readily available from a TCG
+            // member is not worth a replica.
+            if grococa
+                && self.cfg.toggles.admission_control
+                && provider.is_some_and(|(_, in_tcg)| in_tcg)
+            {
+                return;
+            }
+            let victim = if grococa && self.cfg.toggles.cooperative_replacement {
+                self.coop_victim(mh)
+            } else {
+                self.hosts[mh].cache.victim_key().expect("cache is full")
+            };
+            if grococa && self.cfg.delegate_singlets {
+                self.maybe_delegate(sched, mh, victim);
+            }
+            let host = &mut self.hosts[mh];
+            host.cache.insert_evicting(item, now, expiry, victim);
+            if grococa {
+                host.note_evict(victim);
+                host.note_insert(item);
+            }
+        } else {
+            let host = &mut self.hosts[mh];
+            host.cache.insert(item, now, expiry);
+            if grococa {
+                host.note_insert(item);
+            }
+            if !host.cache_filled && host.cache.is_full() {
+                host.cache_filled = true;
+                self.full_caches += 1;
+                if self.full_caches == self.hosts.len() && !self.warm {
+                    self.begin_recording(now);
+                }
+            }
+        }
+    }
+
+    /// The cooperative replacement victim: among the `ReplaceCandidate`
+    /// least-valuable items, prefer one replicated in the TCG (peer
+    /// signature test); an exhausted singlet is dropped outright; otherwise
+    /// the least-valuable item goes, and a skipped least-valuable singlet
+    /// loses one SingletTTL.
+    fn coop_victim(&mut self, mh: usize) -> ItemId {
+        let host = &self.hosts[mh];
+        let candidates = host.cache.victim_candidates(self.cfg.replace_candidate);
+        let least = candidates[0];
+        if host
+            .cache
+            .peek(least)
+            .expect("candidate is cached")
+            .singlet_ttl
+            == 0
+        {
+            if self.warm {
+                self.metrics.singlet_drops += 1;
+            }
+            return least;
+        }
+        for &cand in &candidates {
+            let positions = data_positions(cand.as_u64(), self.cfg.sigma, self.cfg.bloom_k);
+            if host.peer_vector.covers(&positions) {
+                if cand != least {
+                    self.hosts[mh].cache.decrement_singlet(least);
+                }
+                if self.warm {
+                    self.metrics.replicated_evictions += 1;
+                }
+                return cand;
+            }
+        }
+        least
+    }
+
+    /// Cache-delegation extension: if the eviction victim is a *singlet*
+    /// (no replica in the TCG) still TTL-valid, ship it to a connected
+    /// low-activity TCG member in range, preserving it in the group's
+    /// aggregate cache. Charged as a normal point-to-point data transfer.
+    fn maybe_delegate(&mut self, sched: &mut Scheduler<Ev>, mh: usize, victim: ItemId) {
+        let now = sched.now();
+        let host = &self.hosts[mh];
+        let Some(entry) = host.cache.peek(victim) else { return };
+        if !entry.is_valid(now) {
+            return;
+        }
+        let positions = data_positions(victim.as_u64(), self.cfg.sigma, self.cfg.bloom_k);
+        if host.peer_vector.covers(&positions) {
+            return; // replicated: the group keeps it anyway
+        }
+        let expiry = entry.expires_at;
+        let candidates: Vec<usize> = host
+            .tcg
+            .iter()
+            .copied()
+            .filter(|&p| self.low_activity[p] && self.hosts[p].connected)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Closest eligible member (deterministic tie-break by index).
+        let mut best: Option<(usize, f64)> = None;
+        for p in candidates {
+            let d = self.field.distance_at(mh, p, now);
+            if d <= self.cfg.tran_range
+                && best.is_none_or(|(_, bd)| d < bd)
+            {
+                best = Some((p, d));
+            }
+        }
+        let Some((target, _)) = best else { return };
+        let bytes = self.cfg.msg.data_message();
+        let done = self.p2p.send(mh, now, bytes);
+        self.charge_p2p(mh, target, bytes, now);
+        if self.warm {
+            self.metrics.delegations += 1;
+        }
+        // The event carries the payload; the receiver decides to keep it.
+        sched.schedule_at(
+            done,
+            Ev::Delegated {
+                to: target,
+                item: victim,
+                expiry,
+            },
+        );
+    }
+
+    fn on_delegated(&mut self, now: SimTime, to: usize, item: ItemId, expiry: SimTime) {
+        let host = &mut self.hosts[to];
+        if !host.connected || host.cache.contains(item) {
+            return;
+        }
+        if host.cache.is_full() {
+            // Accept only by displacing something idle for longer.
+            let victim = host.cache.victim_key().expect("cache is full");
+            let victim_age = host.cache.peek(victim).expect("victim cached").last_access;
+            // A delegated singlet was just active at its donor; prefer it
+            // over anything older than it.
+            if victim_age >= now {
+                return;
+            }
+            host.cache.insert_evicting(item, now, expiry, victim);
+            host.note_evict(victim);
+        } else {
+            host.cache.insert(item, now, expiry);
+        }
+        host.note_insert(item);
+    }
+
+    // ------------------------------------------------------------------
+    // Completion, disconnection
+    // ------------------------------------------------------------------
+
+    /// The host's mean think time, honouring the low-activity class.
+    fn mean_think(&self, mh: usize) -> f64 {
+        if self.low_activity[mh] {
+            self.cfg.mean_interarrival_secs * self.cfg.low_activity_slowdown
+        } else {
+            self.cfg.mean_interarrival_secs
+        }
+    }
+
+    fn complete(&mut self, sched: &mut Scheduler<Ev>, mh: usize, outcome: Outcome, from_tcg: bool) {
+        let now = sched.now();
+        let p = self.hosts[mh].pending.take().expect("completing a live request");
+        if p.recorded && self.warm {
+            let latency = now.saturating_sub(p.issued_at);
+            self.metrics.record_completion(outcome, latency, from_tcg);
+            self.completed_recorded += 1;
+        }
+        // Client disconnection model (Section V.B).
+        if self.cfg.p_disc > 0.0 && self.host_rngs[mh].chance(self.cfg.p_disc) {
+            self.hosts[mh].connected = false;
+            self.active[mh] = false;
+            self.trace(now, mh, TraceKind::Disconnected);
+            let dur = self.host_rngs[mh]
+                .uniform_f64(self.cfg.disc_time.0, self.cfg.disc_time.1);
+            sched.schedule_after(SimTime::from_secs_f64(dur), Ev::Reconnect { mh });
+        } else {
+            let mean = self.mean_think(mh);
+            let think = self.host_rngs[mh].exponential(mean);
+            sched.schedule_after(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
+        }
+    }
+
+    fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+        let now = sched.now();
+        self.hosts[mh].connected = true;
+        self.active[mh] = true;
+        self.trace(now, mh, TraceKind::Reconnected);
+        if self.cfg.scheme == Scheme::GroCoca {
+            // Disconnection handling protocol (Section IV.D.5): first sync
+            // membership with the MSS.
+            let arr = self.server.request_arrival(now, self.cfg.msg.validation);
+            sched.schedule_at(arr, Ev::ReconnectSync { mh });
+            // Peers holding this host in their OutstandSigList detect the
+            // reconnection beacon and ask for the fresh signature.
+            let in_range = self.field.neighbors_within(mh, self.cfg.tran_range, now, &self.active);
+            for p in in_range {
+                if self.hosts[p].outstand_sig.contains(&mh) {
+                    self.send_sig_request(sched, p, mh, None);
+                }
+            }
+        }
+        let mean = self.mean_think(mh);
+        let think = self.host_rngs[mh].exponential(mean);
+        sched.schedule_after(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
+    }
+
+    fn on_reconnect_sync(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+        let now = sched.now();
+        // Location is piggybacked on the sync; the access vector is not.
+        let _ = self.mss_observe(mh, None, now);
+        let dir = self.dir.as_mut().expect("sync only under GroCoca");
+        let members: Vec<usize> = dir.members_of(mh).iter().copied().collect();
+        let _ = dir.drain_changes(mh); // the full set supersedes deltas
+        let bytes =
+            self.cfg.msg.validation + self.cfg.msg.per_list_entry * members.len() as u64;
+        let arr = self.server.response_arrival(now, bytes);
+        sched.schedule_at(arr, Ev::ReconnectSyncDone { mh, members });
+    }
+
+    fn on_reconnect_sync_done(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        members: Vec<usize>,
+    ) {
+        let host = &mut self.hosts[mh];
+        host.tcg = members.iter().copied().collect();
+        host.peer_vector.reset();
+        host.departed_since_recollect = 0;
+        host.outstand_sig = host.tcg.clone();
+        if !members.is_empty() {
+            self.broadcast_sig_request(sched, mh, members);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TCG membership & the signature exchange protocol (Section IV.D.4–5)
+    // ------------------------------------------------------------------
+
+    /// The MSS folds a contact from `mh` into the TCG directory and returns
+    /// the membership changes to announce (empty for non-GroCoca schemes).
+    fn mss_observe(&mut self, mh: usize, item: Option<ItemId>, now: SimTime) -> Vec<MembershipChange> {
+        let Some(dir) = self.dir.as_mut() else {
+            return Vec::new();
+        };
+        let pos = self.field.position_at(mh, now);
+        dir.record_location(mh, pos);
+        if let Some(item) = item {
+            dir.record_access(mh, item.as_u64());
+        }
+        dir.drain_changes(mh)
+    }
+
+    fn apply_membership(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        changes: Vec<MembershipChange>,
+    ) {
+        if changes.is_empty() {
+            return;
+        }
+        let mut departed = false;
+        for change in changes {
+            match change {
+                MembershipChange::Added(p) => {
+                    if self.hosts[mh].tcg.insert(p) {
+                        self.hosts[mh].outstand_sig.insert(p);
+                        self.trace(sched.now(), mh, TraceKind::TcgJoined { peer: p });
+                        self.send_sig_request(sched, mh, p, None);
+                    }
+                }
+                MembershipChange::Removed(p) => {
+                    let host = &mut self.hosts[mh];
+                    if host.tcg.remove(&p) {
+                        host.outstand_sig.remove(&p);
+                        host.departed_since_recollect += 1;
+                        departed = true;
+                        self.trace(sched.now(), mh, TraceKind::TcgLeft { peer: p });
+                    }
+                }
+            }
+        }
+        // A departure invalidates the superimposed vector: reset and
+        // recollect from the remaining members (batched by the threshold in
+        // extremely dynamic networks).
+        if departed
+            && self.hosts[mh].departed_since_recollect >= self.cfg.recollect_threshold
+        {
+            let host = &mut self.hosts[mh];
+            host.departed_since_recollect = 0;
+            host.peer_vector.reset();
+            let members: Vec<usize> = host.tcg.iter().copied().collect();
+            host.outstand_sig = host.tcg.clone();
+            if !members.is_empty() {
+                self.broadcast_sig_request(sched, mh, members);
+            }
+        }
+    }
+
+    /// Point-to-point `SigRequest` from `from` to `to`.
+    fn send_sig_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        from: usize,
+        to: usize,
+        members: Option<Rc<Vec<usize>>>,
+    ) {
+        let now = sched.now();
+        let bytes = self.cfg.msg.sig_request;
+        let done = self.p2p.send(from, now, bytes);
+        self.charge_p2p(from, to, bytes, now);
+        if self.warm {
+            self.metrics.signature_messages += 1;
+        }
+        sched.schedule_at(done, Ev::SigRequest { from, to, members });
+    }
+
+    /// Broadcast `SigRequest` carrying the membership list; each listed
+    /// member in reach replies with its full cache signature.
+    fn broadcast_sig_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, members: Vec<usize>) {
+        let now = sched.now();
+        let bytes = self.cfg.msg.sig_request_with_members(members.len());
+        let done = self.p2p.send(mh, now, bytes);
+        let reached = self.broadcast_reach(mh, now);
+        self.charge_broadcast(mh, &reached, bytes);
+        if self.warm {
+            self.metrics.signature_messages += 1;
+        }
+        let members = Rc::new(members);
+        for &(peer, hop) in &reached {
+            let at = self.p2p.broadcast_delivery(done, bytes, hop);
+            sched.schedule_at(
+                at,
+                Ev::SigRequest {
+                    from: mh,
+                    to: peer,
+                    members: Some(members.clone()),
+                },
+            );
+        }
+    }
+
+    fn on_sig_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        from: usize,
+        to: usize,
+        members: Option<Rc<Vec<usize>>>,
+    ) {
+        if !self.hosts[to].connected {
+            return; // `from` keeps `to` in its OutstandSigList
+        }
+        if let Some(m) = &members {
+            if !m.contains(&to) {
+                return; // overheard a recollection meant for others
+            }
+        }
+        let now = sched.now();
+        let sig = Rc::new(self.hosts[to].counting.to_bloom());
+        // Compress when the paper's rule says it pays off (based on the
+        // cache capacity ε, the filter size σ and the hash count k).
+        let payload = if self.cfg.scheme == Scheme::GroCoca && self.cfg.toggles.compress_signatures
+        {
+            match compression_choice(self.cfg.cache_size as u64, self.cfg.sigma, self.cfg.bloom_k)
+            {
+                Some(r) => CompressedSignature::encode(&sig, r).wire_bytes(),
+                None => sig.wire_bytes(),
+            }
+        } else {
+            sig.wire_bytes()
+        };
+        let bytes = self.cfg.msg.header + payload;
+        let done = self.p2p.send(to, now, bytes);
+        self.charge_p2p(to, from, bytes, now);
+        if self.warm {
+            self.metrics.signature_messages += 1;
+            self.metrics.signature_bytes += bytes;
+        }
+        sched.schedule_at(done, Ev::SigReply { from: to, to: from, sig });
+    }
+
+    fn on_sig_reply(&mut self, from: usize, to: usize, sig: Rc<BloomFilter>) {
+        let host = &mut self.hosts[to];
+        if !host.connected || !host.tcg.contains(&from) {
+            return;
+        }
+        // Only fold in a signature we are still waiting for — duplicates
+        // would double-count bits in the counter vector.
+        if host.outstand_sig.remove(&from) {
+            host.peer_vector.add_signature(&sig);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit updates (τ_P, ρ_P)
+    // ------------------------------------------------------------------
+
+    fn on_explicit_update(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+        let now = sched.now();
+        // Always re-arm the timer.
+        sched.schedule_after(
+            SimTime::from_secs_f64(self.cfg.tau_p_secs),
+            Ev::ExplicitUpdate { mh },
+        );
+        let host = &mut self.hosts[mh];
+        if !host.connected {
+            return;
+        }
+        let idle = now.saturating_sub(host.last_server_contact).as_secs_f64();
+        if idle < self.cfg.tau_p_secs {
+            return; // regular traffic kept the MSS current
+        }
+        let take = ((host.peer_retrieved_log.len() as f64) * self.cfg.rho_p).ceil() as usize;
+        let sample: Vec<ItemId> = host
+            .peer_retrieved_log
+            .drain(..take.min(host.peer_retrieved_log.len()))
+            .collect();
+        host.last_server_contact = now;
+        let bytes =
+            self.cfg.msg.validation + self.cfg.msg.per_list_entry * sample.len() as u64;
+        let arr = self.server.request_arrival(now, bytes);
+        sched.schedule_at(arr, Ev::ExplicitUpdateAtMss { mh, sample });
+    }
+
+    fn on_explicit_update_at_mss(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        sample: Vec<ItemId>,
+    ) {
+        let now = sched.now();
+        let changes = {
+            let Some(dir) = self.dir.as_mut() else { return };
+            let pos = self.field.position_at(mh, now);
+            dir.record_location(mh, pos);
+            for item in &sample {
+                dir.record_access(mh, item.as_u64());
+            }
+            dir.drain_changes(mh)
+        };
+        if changes.is_empty() {
+            return;
+        }
+        let bytes =
+            self.cfg.msg.validation + self.cfg.msg.per_list_entry * changes.len() as u64;
+        let arr = self.server.response_arrival(now, bytes);
+        sched.schedule_at(arr, Ev::MembershipNews { mh, changes });
+    }
+
+    // ------------------------------------------------------------------
+    // Server database processes
+    // ------------------------------------------------------------------
+
+    fn on_db_update(&mut self, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        self.db.random_update(now, &mut self.rng_updates);
+        let gap = self.rng_updates.exponential(1.0 / self.cfg.update_rate);
+        sched.schedule_after(SimTime::from_secs_f64(gap), Ev::DbUpdate);
+    }
+
+    fn on_age_intervals(&mut self, sched: &mut Scheduler<Ev>) {
+        self.db.age_stale_intervals(sched.now());
+        sched.schedule_after(
+            SimTime::from_secs_f64(self.cfg.aging_period_secs),
+            Ev::AgeIntervals,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Power accounting (Section V.A, Table I)
+    // ------------------------------------------------------------------
+
+    /// Charges a point-to-point P2P message: sender, destination and every
+    /// bystander in either transmission range.
+    fn charge_p2p(&mut self, sender: usize, dest: usize, bytes: u64, now: SimTime) {
+        if !self.warm {
+            return;
+        }
+        let model = self.cfg.power;
+        self.metrics.power.charge_p2p(&model, P2pRole::Sender, bytes);
+        self.metrics
+            .power
+            .charge_p2p(&model, P2pRole::Destination, bytes);
+        let s_range: HashSet<usize> = self
+            .field
+            .neighbors_within(sender, self.cfg.tran_range, now, &self.active)
+            .into_iter()
+            .collect();
+        let d_range: HashSet<usize> = self
+            .field
+            .neighbors_within(dest, self.cfg.tran_range, now, &self.active)
+            .into_iter()
+            .collect();
+        for &m in s_range.union(&d_range) {
+            if m == sender || m == dest {
+                continue;
+            }
+            let role = match (s_range.contains(&m), d_range.contains(&m)) {
+                (true, true) => P2pRole::DiscardBothRanges,
+                (true, false) => P2pRole::DiscardSenderRange,
+                (false, true) => P2pRole::DiscardDestRange,
+                (false, false) => unreachable!("member of the union"),
+            };
+            self.metrics.power.charge_p2p(&model, role, bytes);
+        }
+    }
+
+    /// Charges a multi-hop broadcast: the originator and every forwarder
+    /// (reached nodes short of the last hop re-broadcast under flooding)
+    /// pay the send cost; every reached node pays one receive.
+    fn charge_broadcast(&mut self, _sender: usize, reached: &[(usize, u32)], bytes: u64) {
+        if !self.warm {
+            return;
+        }
+        let model = self.cfg.power;
+        self.metrics
+            .power
+            .charge_broadcast(&model, BroadcastRole::Sender, bytes);
+        let mut sends = 1u64;
+        for &(_, hop) in reached {
+            self.metrics
+                .power
+                .charge_broadcast(&model, BroadcastRole::Receiver, bytes);
+            if hop < self.cfg.hop_dist {
+                self.metrics
+                    .power
+                    .charge_broadcast(&model, BroadcastRole::Sender, bytes);
+                sends += 1;
+            }
+        }
+        self.metrics.broadcasts += sends;
+    }
+
+    /// One NDP beacon round: every connected host broadcasts a hello and
+    /// every connected neighbour receives it. The paper assumes NDP "is
+    /// available" and does not meter it; this optional accounting
+    /// quantifies that assumption.
+    fn on_beacon_tick(&mut self, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        sched.schedule_after(
+            SimTime::from_secs_f64(self.cfg.beacon_period_secs),
+            Ev::BeaconTick,
+        );
+        if let Some(ndp) = self.ndp.as_mut() {
+            let positions = self.field.positions_at(now);
+            let range_sq = self.cfg.tran_range * self.cfg.tran_range;
+            let _ = ndp.beacon_round(
+                |a, b| positions[a].distance_sq(positions[b]) <= range_sq,
+                &self.active,
+            );
+        }
+        if !self.warm || !self.cfg.account_beacons {
+            return;
+        }
+        let model = self.cfg.power;
+        let bytes = self.cfg.msg.beacon;
+        for mh in 0..self.hosts.len() {
+            if !self.hosts[mh].connected {
+                continue;
+            }
+            self.metrics
+                .power
+                .charge_broadcast(&model, BroadcastRole::Sender, bytes);
+            let heard = self
+                .field
+                .neighbors_within(mh, self.cfg.tran_range, now, &self.active)
+                .len();
+            for _ in 0..heard {
+                self.metrics
+                    .power
+                    .charge_broadcast(&model, BroadcastRole::Receiver, bytes);
+            }
+        }
+    }
+
+    fn begin_recording(&mut self, now: SimTime) {
+        if self.warm {
+            return;
+        }
+        self.warm = true;
+        self.warmed_at = now;
+        self.metrics = Metrics::new();
+    }
+}

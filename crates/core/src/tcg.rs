@@ -1,0 +1,346 @@
+//! Tightly-coupled group discovery at the mobile support station
+//! (paper Section IV.A–C, Algorithms 1–3).
+//!
+//! The MSS passively observes each request's piggybacked location and the
+//! item accessed, maintaining:
+//!
+//! * the **weighted average distance matrix** (WADM): per pair, an EWMA of
+//!   Euclidean distances (Equation 1, weight ω);
+//! * the **access similarity matrix** (ASM): per pair, the cosine similarity
+//!   of access-frequency vectors (Equation 2, threshold δ).
+//!
+//! A pair with `wadm ≤ Δ` and `sim ≥ δ` are TCG members of each other; the
+//! relation is symmetric. Membership changes are queued per host and
+//! announced lazily, the next time that host contacts the MSS
+//! (asynchronous group view change).
+//!
+//! The cosine similarity is maintained *incrementally*: an access to item
+//! `d` by host `i` updates `dot(i,j) += A_j(d)` for every `j` and
+//! `‖A_i‖² += 2·A_i(d)+1`, so each request costs O(N) instead of
+//! O(N·NData). Tests verify equality with the naive formula.
+
+use std::collections::BTreeSet;
+
+use grococa_mobility::Vec2;
+
+/// A lazily announced TCG membership change for one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// `peer` joined this host's TCG.
+    Added(usize),
+    /// `peer` left this host's TCG.
+    Removed(usize),
+}
+
+/// The MSS-resident TCG directory.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_core::TcgDirectory;
+/// use grococa_mobility::Vec2;
+///
+/// let mut dir = TcgDirectory::new(2, 100, 50.0, 0.5, 0.5);
+/// // Two hosts close together, accessing the same item repeatedly:
+/// for _ in 0..3 {
+///     dir.record_location(0, Vec2::new(10.0, 10.0));
+///     dir.record_location(1, Vec2::new(12.0, 10.0));
+///     dir.record_access(0, 7);
+///     dir.record_access(1, 7);
+/// }
+/// assert!(dir.members_of(0).contains(&1));
+/// assert!(dir.members_of(1).contains(&0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcgDirectory {
+    n: usize,
+    delta_distance: f64,
+    delta_similarity: f64,
+    omega: f64,
+    /// Per-host access frequency vectors A_i (length NData).
+    access: Vec<Vec<u32>>,
+    /// Flattened n×n dot products of access vectors.
+    dot: Vec<f64>,
+    /// Per-host squared norms ‖A_i‖².
+    norm_sq: Vec<f64>,
+    /// Flattened n×n EWMA distances; NaN = no observation yet.
+    wadm: Vec<f64>,
+    last_pos: Vec<Option<Vec2>>,
+    members: Vec<BTreeSet<usize>>,
+    pending: Vec<Vec<MembershipChange>>,
+}
+
+impl TcgDirectory {
+    /// Creates a directory for `n` hosts over `n_data` items with the
+    /// thresholds Δ (`delta_distance`, metres), δ (`delta_similarity`) and
+    /// EWMA weight ω.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `n_data` is zero, or ω ∉ [0, 1].
+    pub fn new(n: usize, n_data: u64, delta_distance: f64, delta_similarity: f64, omega: f64) -> Self {
+        assert!(n > 0, "need at least one host");
+        assert!(n_data > 0, "database must be non-empty");
+        assert!((0.0..=1.0).contains(&omega), "omega must lie in [0, 1]");
+        TcgDirectory {
+            n,
+            delta_distance,
+            delta_similarity,
+            omega,
+            access: vec![vec![0; n_data as usize]; n],
+            dot: vec![0.0; n * n],
+            norm_sq: vec![0.0; n],
+            wadm: vec![f64::NAN; n * n],
+            last_pos: vec![None; n],
+            members: vec![BTreeSet::new(); n],
+            pending: vec![Vec::new(); n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Algorithm 1: folds a piggybacked location of host `i` into the WADM
+    /// rows of `i` and re-checks every affected pair's membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn record_location(&mut self, i: usize, pos: Vec2) {
+        self.last_pos[i] = Some(pos);
+        for j in 0..self.n {
+            if j == i {
+                continue;
+            }
+            let Some(pj) = self.last_pos[j] else { continue };
+            let d = pos.distance(pj);
+            let (a, b) = (self.idx(i, j), self.idx(j, i));
+            let new = if self.wadm[a].is_nan() {
+                d
+            } else {
+                self.omega * d + (1.0 - self.omega) * self.wadm[a]
+            };
+            self.wadm[a] = new;
+            self.wadm[b] = new;
+            self.check_membership(i, j);
+        }
+    }
+
+    /// Algorithm 2: folds an access by host `i` to item `item` into the ASM
+    /// and re-checks every affected pair's membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `item` is out of range.
+    pub fn record_access(&mut self, i: usize, item: u64) {
+        let d = item as usize;
+        let old = self.access[i][d];
+        self.access[i][d] = old + 1;
+        self.norm_sq[i] += 2.0 * old as f64 + 1.0;
+        for j in 0..self.n {
+            if j == i {
+                continue;
+            }
+            let contrib = self.access[j][d] as f64;
+            let a = self.idx(i, j);
+            let b = self.idx(j, i);
+            self.dot[a] += contrib;
+            self.dot[b] += contrib;
+            self.check_membership(i, j);
+        }
+    }
+
+    /// The current weighted average distance |m_i m_j|‾, if both hosts have
+    /// reported locations.
+    pub fn weighted_distance(&self, i: usize, j: usize) -> Option<f64> {
+        let v = self.wadm[self.idx(i, j)];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// The current cosine access similarity sim(m_i, m_j) (zero when either
+    /// host has no recorded accesses).
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        let denom = self.norm_sq[i] * self.norm_sq[j];
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot[self.idx(i, j)] / denom.sqrt()
+        }
+    }
+
+    /// Algorithm 3: membership check for the pair (i, j), queuing lazy
+    /// announcements on change.
+    fn check_membership(&mut self, i: usize, j: usize) {
+        let close = self
+            .weighted_distance(i, j)
+            .is_some_and(|d| d <= self.delta_distance);
+        let similar = self.similarity(i, j) >= self.delta_similarity;
+        let in_group = close && similar;
+        let currently = self.members[i].contains(&j);
+        if in_group && !currently {
+            self.members[i].insert(j);
+            self.members[j].insert(i);
+            self.pending[i].push(MembershipChange::Added(j));
+            self.pending[j].push(MembershipChange::Added(i));
+        } else if !in_group && currently {
+            self.members[i].remove(&j);
+            self.members[j].remove(&i);
+            self.pending[i].push(MembershipChange::Removed(j));
+            self.pending[j].push(MembershipChange::Removed(i));
+        }
+    }
+
+    /// The MSS's current view of host `i`'s TCG.
+    pub fn members_of(&self, i: usize) -> &BTreeSet<usize> {
+        &self.members[i]
+    }
+
+    /// Drains the membership changes queued for host `i` — called when the
+    /// host contacts the MSS (request, explicit update or reconnection
+    /// sync).
+    pub fn drain_changes(&mut self, i: usize) -> Vec<MembershipChange> {
+        std::mem::take(&mut self.pending[i])
+    }
+
+    /// Whether host `i` has announcements waiting.
+    pub fn has_pending(&self, i: usize) -> bool {
+        !self.pending[i].is_empty()
+    }
+
+    /// The naive cosine similarity recomputed from scratch — O(NData), used
+    /// by tests to validate the incremental maintenance.
+    pub fn similarity_naive(&self, i: usize, j: usize) -> f64 {
+        let dot: f64 = self.access[i]
+            .iter()
+            .zip(&self.access[j])
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let ni: f64 = self.access[i].iter().map(|&a| (a as f64).powi(2)).sum();
+        let nj: f64 = self.access[j].iter().map(|&a| (a as f64).powi(2)).sum();
+        if ni == 0.0 || nj == 0.0 {
+            0.0
+        } else {
+            dot / (ni * nj).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_pair(dir: &mut TcgDirectory) {
+        dir.record_location(0, Vec2::new(0.0, 0.0));
+        dir.record_location(1, Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn incremental_similarity_matches_naive() {
+        let mut dir = TcgDirectory::new(3, 50, 100.0, 0.9, 0.5);
+        let accesses = [
+            (0usize, 1u64),
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (1, 3),
+            (2, 4),
+            (0, 3),
+            (1, 1),
+            (2, 1),
+        ];
+        for &(mh, item) in &accesses {
+            dir.record_access(mh, item);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(
+                        (dir.similarity(i, j) - dir.similarity_naive(i, j)).abs() < 1e-12,
+                        "pair ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical_patterns() {
+        let mut dir = TcgDirectory::new(2, 10, 100.0, 0.9, 0.5);
+        for _ in 0..5 {
+            dir.record_access(0, 3);
+            dir.record_access(1, 3);
+        }
+        assert!((dir.similarity(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_zero_for_disjoint_patterns() {
+        let mut dir = TcgDirectory::new(2, 10, 100.0, 0.9, 0.5);
+        dir.record_access(0, 1);
+        dir.record_access(1, 2);
+        assert_eq!(dir.similarity(0, 1), 0.0);
+    }
+
+    #[test]
+    fn wadm_ewma_follows_equation_one() {
+        let mut dir = TcgDirectory::new(2, 10, 100.0, 0.0, 0.5);
+        dir.record_location(0, Vec2::new(0.0, 0.0));
+        dir.record_location(1, Vec2::new(100.0, 0.0)); // first sample: 100
+        assert_eq!(dir.weighted_distance(0, 1), Some(100.0));
+        dir.record_location(0, Vec2::new(80.0, 0.0)); // sample 20 → 0.5·20+0.5·100
+        assert_eq!(dir.weighted_distance(0, 1), Some(60.0));
+        assert_eq!(dir.weighted_distance(1, 0), Some(60.0));
+    }
+
+    #[test]
+    fn membership_needs_both_conditions() {
+        let mut dir = TcgDirectory::new(2, 10, 50.0, 0.9, 0.5);
+        close_pair(&mut dir); // close, but no access similarity yet
+        assert!(dir.members_of(0).is_empty());
+        dir.record_access(0, 5);
+        dir.record_access(1, 5); // now similar AND close
+        assert!(dir.members_of(0).contains(&1));
+        assert!(dir.members_of(1).contains(&0));
+    }
+
+    #[test]
+    fn membership_is_revoked_when_hosts_separate() {
+        let mut dir = TcgDirectory::new(2, 10, 50.0, 0.9, 1.0); // ω=1: distance = latest
+        close_pair(&mut dir);
+        dir.record_access(0, 5);
+        dir.record_access(1, 5);
+        assert!(dir.members_of(0).contains(&1));
+        dir.record_location(0, Vec2::new(500.0, 500.0));
+        assert!(dir.members_of(0).is_empty());
+        let changes = dir.drain_changes(0);
+        assert_eq!(
+            changes,
+            vec![MembershipChange::Added(1), MembershipChange::Removed(1)]
+        );
+        assert!(!dir.has_pending(0));
+        assert!(dir.has_pending(1));
+    }
+
+    #[test]
+    fn announcements_are_lazy_and_per_host() {
+        let mut dir = TcgDirectory::new(2, 10, 50.0, 0.9, 0.5);
+        close_pair(&mut dir);
+        dir.record_access(0, 5);
+        dir.record_access(1, 5);
+        assert!(dir.has_pending(0) && dir.has_pending(1));
+        assert_eq!(dir.drain_changes(0), vec![MembershipChange::Added(1)]);
+        assert!(!dir.has_pending(0));
+        assert!(dir.has_pending(1), "host 1 not announced until it contacts");
+    }
+
+    #[test]
+    fn ewma_weight_zero_keeps_first_distance() {
+        let mut dir = TcgDirectory::new(2, 10, 50.0, 0.9, 0.0);
+        dir.record_location(0, Vec2::new(0.0, 0.0));
+        dir.record_location(1, Vec2::new(30.0, 0.0));
+        dir.record_location(1, Vec2::new(1_000.0, 0.0));
+        assert_eq!(dir.weighted_distance(0, 1), Some(30.0));
+    }
+}

@@ -1,0 +1,443 @@
+//! The mobility field: the positions of every mobile host over time, plus
+//! geometric neighbourhood queries (transmission range, multi-hop
+//! reachability).
+
+use grococa_sim::{SimRng, SimTime};
+
+use crate::{
+    GaussMarkov, GaussMarkovParams, GroupParams, Manhattan, ManhattanParams, MotionGroup,
+    RandomWaypoint, Vec2, WaypointParams,
+};
+
+/// Which mobility model drives the hosts.
+///
+/// The paper's client model is [`MotionModel::GroupWaypoint`] (reference
+/// point group mobility, degenerating to individual random waypoint at
+/// group size 1); the other models are extensions for the mobility-model
+/// ablation. Under every model, hosts are still *logically* partitioned
+/// into groups of `group_size` for access-pattern purposes — only the
+/// motion coupling changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MotionModel {
+    /// Reference point group mobility (the paper's model).
+    #[default]
+    GroupWaypoint,
+    /// Independent random waypoint per host, regardless of group size.
+    IndividualWaypoint,
+    /// Independent Gauss–Markov motion (momentum, no group structure).
+    GaussMarkov,
+    /// Independent Manhattan-grid motion (urban streets).
+    Manhattan,
+}
+
+/// Configuration of a [`MobilityField`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldConfig {
+    /// The mobility model hosts follow.
+    pub model: MotionModel,
+    /// Space width, metres.
+    pub width: f64,
+    /// Space height, metres.
+    pub height: f64,
+    /// Host speed range, m/s.
+    pub v_min: f64,
+    /// Upper host speed, m/s.
+    pub v_max: f64,
+    /// Pause at waypoints (the paper uses one second).
+    pub pause: SimTime,
+    /// Members per motion group; `1` degenerates to individual random
+    /// waypoint motion, exactly as in the paper's Section VI.C.
+    pub group_size: usize,
+    /// How far members roam from their group reference point, metres.
+    pub group_radius: f64,
+}
+
+impl Default for FieldConfig {
+    fn default() -> Self {
+        FieldConfig {
+            model: MotionModel::GroupWaypoint,
+            width: 1000.0,
+            height: 1000.0,
+            v_min: 1.0,
+            v_max: 5.0,
+            pause: SimTime::from_secs(1),
+            group_size: 5,
+            group_radius: 50.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Mover {
+    Individual(RandomWaypoint),
+    Grouped { group: usize, member: usize },
+    GaussMarkov(GaussMarkov),
+    Manhattan(Manhattan),
+}
+
+impl Mover {
+    fn position_at(&mut self, groups: &mut [MotionGroup], t: SimTime) -> Vec2 {
+        match self {
+            Mover::Individual(w) => w.position_at(t),
+            Mover::Grouped { group, member } => groups[*group].member_at(*member, t),
+            Mover::GaussMarkov(g) => g.position_at(t),
+            Mover::Manhattan(m) => m.position_at(t),
+        }
+    }
+}
+
+/// Positions of `n` mobile hosts over time, grouped per the reference point
+/// group mobility model, with neighbourhood queries.
+///
+/// Hosts are identified by dense indices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_mobility::{FieldConfig, MobilityField};
+/// use grococa_sim::SimTime;
+///
+/// let mut field = MobilityField::new(FieldConfig::default(), 20, 42);
+/// let t = SimTime::from_secs(10);
+/// let positions = field.positions_at(t).to_vec();
+/// assert_eq!(positions.len(), 20);
+/// assert_eq!(field.group_of(0), field.group_of(4)); // group size 5
+/// assert_ne!(field.group_of(0), field.group_of(5));
+/// ```
+#[derive(Debug)]
+pub struct MobilityField {
+    config: FieldConfig,
+    groups: Vec<MotionGroup>,
+    movers: Vec<Mover>,
+    group_of: Vec<usize>,
+    cache_t: Option<SimTime>,
+    cache: Vec<Vec2>,
+}
+
+impl MobilityField {
+    /// Creates a field of `n` hosts partitioned into ⌈n / group_size⌉ motion
+    /// groups (the last group may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `config.group_size` is zero, or the waypoint
+    /// parameters are invalid.
+    pub fn new(config: FieldConfig, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a field needs at least one host");
+        assert!(config.group_size > 0, "group size must be positive");
+        let wp = WaypointParams {
+            width: config.width,
+            height: config.height,
+            v_min: config.v_min,
+            v_max: config.v_max,
+            pause: config.pause,
+        };
+        let mut rng = SimRng::substream(seed, 0xF1E1D);
+        let mut groups = Vec::new();
+        let mut movers = Vec::with_capacity(n);
+        let mut group_of = Vec::with_capacity(n);
+        // Logical (access-pattern) grouping is model-independent.
+        let logical_groups = |group_of: &mut Vec<usize>| {
+            for i in 0..n {
+                group_of.push(i / config.group_size);
+            }
+        };
+        match config.model {
+            MotionModel::IndividualWaypoint => {
+                logical_groups(&mut group_of);
+                for _ in 0..n {
+                    movers.push(Mover::Individual(RandomWaypoint::new(wp, &mut rng)));
+                }
+            }
+            MotionModel::GaussMarkov => {
+                logical_groups(&mut group_of);
+                let gm = GaussMarkovParams {
+                    width: config.width,
+                    height: config.height,
+                    mean_speed: 0.5 * (config.v_min + config.v_max),
+                    ..GaussMarkovParams::default()
+                };
+                for _ in 0..n {
+                    movers.push(Mover::GaussMarkov(GaussMarkov::new(gm, &mut rng)));
+                }
+            }
+            MotionModel::Manhattan => {
+                logical_groups(&mut group_of);
+                let mp = ManhattanParams {
+                    width: config.width,
+                    height: config.height,
+                    v_min: config.v_min,
+                    v_max: config.v_max,
+                    ..ManhattanParams::default()
+                };
+                for _ in 0..n {
+                    movers.push(Mover::Manhattan(Manhattan::new(mp, &mut rng)));
+                }
+            }
+            MotionModel::GroupWaypoint if config.group_size == 1 => {
+                // Degenerate case: plain individual random waypoint motion.
+                for i in 0..n {
+                    movers.push(Mover::Individual(RandomWaypoint::new(wp, &mut rng)));
+                    group_of.push(i);
+                }
+            }
+            MotionModel::GroupWaypoint => {
+            let gp = GroupParams {
+                reference: wp,
+                group_radius: config.group_radius,
+                member_v_min: (config.v_min * 0.5).max(0.1),
+                member_v_max: (config.v_max * 0.5).max(0.2),
+            };
+                let mut i = 0;
+                while i < n {
+                    let members = config.group_size.min(n - i);
+                    let gi = groups.len();
+                    groups.push(MotionGroup::new(gp, members, &mut rng));
+                    for m in 0..members {
+                        movers.push(Mover::Grouped { group: gi, member: m });
+                        group_of.push(gi);
+                    }
+                    i += members;
+                }
+            }
+        }
+        MobilityField {
+            config,
+            groups,
+            movers,
+            group_of,
+            cache_t: None,
+            cache: vec![Vec2::ZERO; n],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.movers.len()
+    }
+
+    /// Whether the field is empty (never true for constructed fields).
+    pub fn is_empty(&self) -> bool {
+        self.movers.is_empty()
+    }
+
+    /// The configuration the field was built with.
+    pub fn config(&self) -> &FieldConfig {
+        &self.config
+    }
+
+    /// The motion-group index of host `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn group_of(&self, i: usize) -> usize {
+        self.group_of[i]
+    }
+
+    /// Position of host `i` at time `t`.
+    pub fn position_at(&mut self, i: usize, t: SimTime) -> Vec2 {
+        self.movers[i].position_at(&mut self.groups, t)
+    }
+
+    /// Positions of all hosts at `t`; cached so repeated queries at the same
+    /// instant (one broadcast reaching many peers) cost one pass.
+    pub fn positions_at(&mut self, t: SimTime) -> &[Vec2] {
+        if self.cache_t != Some(t) {
+            for i in 0..self.movers.len() {
+                self.cache[i] = self.movers[i].position_at(&mut self.groups, t);
+            }
+            self.cache_t = Some(t);
+        }
+        &self.cache
+    }
+
+    /// Euclidean distance between hosts `a` and `b` at `t`.
+    pub fn distance_at(&mut self, a: usize, b: usize, t: SimTime) -> f64 {
+        let pa = self.position_at(a, t);
+        let pb = self.position_at(b, t);
+        pa.distance(pb)
+    }
+
+    /// Hosts within `range` metres of host `src` at `t` (excluding `src`
+    /// itself), filtered by `active` (e.g. connected, powered-on hosts).
+    pub fn neighbors_within(
+        &mut self,
+        src: usize,
+        range: f64,
+        t: SimTime,
+        active: &[bool],
+    ) -> Vec<usize> {
+        let positions = self.positions_at(t);
+        let p = positions[src];
+        let range_sq = range * range;
+        positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, q)| i != src && active[i] && p.distance_sq(*q) <= range_sq)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All hosts reachable from `src` within `hops` broadcast hops of
+    /// `range` metres each, with the hop count at which each is first
+    /// reached. Breadth-first over the geometric graph induced by `active`
+    /// hosts. `src` itself is excluded.
+    pub fn reachable_within_hops(
+        &mut self,
+        src: usize,
+        range: f64,
+        hops: u32,
+        t: SimTime,
+        active: &[bool],
+    ) -> Vec<(usize, u32)> {
+        let positions = self.positions_at(t).to_vec();
+        let n = positions.len();
+        let range_sq = range * range;
+        let mut dist = vec![u32::MAX; n];
+        dist[src] = 0;
+        let mut frontier = vec![src];
+        let mut out = Vec::new();
+        for hop in 1..=hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let pu = positions[u];
+                for v in 0..n {
+                    if dist[v] == u32::MAX && active[v] && pu.distance_sq(positions[v]) <= range_sq
+                    {
+                        dist[v] = hop;
+                        next.push(v);
+                        out.push((v, hop));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field(n: usize, group_size: usize) -> MobilityField {
+        MobilityField::new(
+            FieldConfig {
+                group_size,
+                ..FieldConfig::default()
+            },
+            n,
+            123,
+        )
+    }
+
+    #[test]
+    fn alternative_models_keep_logical_groups() {
+        for model in [
+            MotionModel::IndividualWaypoint,
+            MotionModel::GaussMarkov,
+            MotionModel::Manhattan,
+        ] {
+            let mut f = MobilityField::new(
+                FieldConfig {
+                    model,
+                    group_size: 4,
+                    ..FieldConfig::default()
+                },
+                9,
+                55,
+            );
+            // Logical grouping independent of motion coupling.
+            assert_eq!(f.group_of(0), 0);
+            assert_eq!(f.group_of(3), 0);
+            assert_eq!(f.group_of(4), 1);
+            assert_eq!(f.group_of(8), 2);
+            // Positions are produced and in bounds.
+            let t = SimTime::from_secs(100);
+            for i in 0..9 {
+                let p = f.position_at(i, t);
+                assert!((0.0..=1000.0).contains(&p.x), "{model:?}: {p}");
+                assert!((0.0..=1000.0).contains(&p.y), "{model:?}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_assigns_contiguous_blocks() {
+        let f = small_field(12, 5);
+        assert_eq!(f.group_of(0), 0);
+        assert_eq!(f.group_of(4), 0);
+        assert_eq!(f.group_of(5), 1);
+        assert_eq!(f.group_of(9), 1);
+        assert_eq!(f.group_of(10), 2); // trailing partial group
+        assert_eq!(f.group_of(11), 2);
+        assert_eq!(f.len(), 12);
+    }
+
+    #[test]
+    fn group_size_one_is_individual_motion() {
+        let f = small_field(5, 1);
+        let groups: Vec<usize> = (0..5).map(|i| f.group_of(i)).collect();
+        assert_eq!(groups, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn group_members_stay_close_strangers_roam() {
+        let mut f = small_field(50, 5);
+        let t = SimTime::from_secs(500);
+        // Members of the same group must be within the group box diameter.
+        let d_same = f.distance_at(0, 4, t);
+        assert!(d_same <= 2.0 * 50.0 * std::f64::consts::SQRT_2 + 1e-9);
+    }
+
+    #[test]
+    fn neighbors_within_excludes_self_and_inactive() {
+        let mut f = small_field(10, 5);
+        let t = SimTime::from_secs(5);
+        let mut active = vec![true; 10];
+        let nbrs = f.neighbors_within(0, 1e9, t, &active);
+        assert_eq!(nbrs.len(), 9, "everyone in range with infinite radius");
+        assert!(!nbrs.contains(&0));
+        active[1] = false;
+        let nbrs = f.neighbors_within(0, 1e9, t, &active);
+        assert_eq!(nbrs.len(), 8);
+        assert!(!nbrs.contains(&1));
+    }
+
+    #[test]
+    fn bfs_hop_counts_are_minimal() {
+        let mut f = small_field(30, 5);
+        let t = SimTime::from_secs(100);
+        let active = vec![true; 30];
+        let one_hop: Vec<usize> = f
+            .reachable_within_hops(0, 150.0, 1, t, &active)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let two_hop = f.reachable_within_hops(0, 150.0, 2, t, &active);
+        // Every 1-hop node appears in the 2-hop result at hop 1.
+        for i in &one_hop {
+            assert!(two_hop.iter().any(|&(j, h)| j == *i && h == 1));
+        }
+        // And 2-hop nodes are strictly new.
+        for &(j, h) in &two_hop {
+            if h == 2 {
+                assert!(!one_hop.contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn positions_cache_consistent_with_point_queries() {
+        let mut f = small_field(8, 4);
+        let t = SimTime::from_secs(77);
+        let from_cache = f.positions_at(t).to_vec();
+        for (i, p) in from_cache.iter().enumerate() {
+            assert_eq!(f.position_at(i, t), *p);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Mobility models for the GroCoca simulator.
+//!
+//! Implements the two models the paper's client model uses (Section V.B):
+//!
+//! * the **random waypoint** model ([`RandomWaypoint`], Broch et al.), and
+//! * the **reference point group mobility** model ([`MotionGroup`],
+//!   Hong et al.), in which groups of mobile hosts move together.
+//!
+//! [`MobilityField`] composes them into the positions of a whole population
+//! and offers the geometric queries the network layer needs: who is within
+//! transmission range, and who is reachable within `HopDist` broadcast hops.
+//!
+//! # Examples
+//!
+//! ```
+//! use grococa_mobility::{FieldConfig, MobilityField};
+//! use grococa_sim::SimTime;
+//!
+//! let mut field = MobilityField::new(FieldConfig::default(), 100, 7);
+//! let active = vec![true; 100];
+//! let peers = field.neighbors_within(0, 100.0, SimTime::from_secs(10), &active);
+//! assert!(peers.len() < 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod field;
+mod gauss_markov;
+mod manhattan;
+mod rpgm;
+mod vec2;
+mod waypoint;
+
+pub use field::{FieldConfig, MobilityField, MotionModel};
+pub use gauss_markov::{GaussMarkov, GaussMarkovParams};
+pub use manhattan::{Manhattan, ManhattanParams};
+pub use rpgm::{GroupParams, MotionGroup};
+pub use vec2::Vec2;
+pub use waypoint::{RandomWaypoint, WaypointParams};

@@ -1,0 +1,125 @@
+//! Planar geometry primitives.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A 2-D point / vector in metres.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_mobility::Vec2;
+///
+/// let a = Vec2::new(0.0, 0.0);
+/// let b = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal coordinate, metres.
+    pub x: f64,
+    /// Vertical coordinate, metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean distance to `other` (the paper's |m_i m_j|).
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared distance — cheaper when only comparisons are needed.
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Vector length.
+    pub fn length(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Componentwise clamp into the rectangle `[0, w] × [0, h]`.
+    pub fn clamp_to(self, w: f64, h: f64) -> Vec2 {
+        Vec2::new(self.x.clamp(0.0, w), self.y.clamp(0.0, h))
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_length() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(Vec2::new(0.0, -3.0).length(), 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn clamp_keeps_interior_points() {
+        let p = Vec2::new(5.0, 5.0);
+        assert_eq!(p.clamp_to(10.0, 10.0), p);
+        assert_eq!(Vec2::new(-1.0, 12.0).clamp_to(10.0, 10.0), Vec2::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 5.0);
+        assert_eq!(a + b, Vec2::new(4.0, 7.0));
+        assert_eq!(b - a, Vec2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+    }
+}

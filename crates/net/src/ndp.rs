@@ -1,0 +1,294 @@
+//! The neighbour discovery protocol (NDP) of Section III.
+//!
+//! "NDP is a simple protocol in which the neighbor connectivity is
+//! maintained through a periodic beacon of hello message ... If an MH has
+//! not received a beacon message from a known peer for some beacon cycles,
+//! it considers that there is a link failure with that peer."
+//!
+//! [`Ndp`] maintains the pairwise link table those beacons imply: a link
+//! comes **up** the first round both hosts hear each other and goes
+//! **down** after [`NdpConfig::miss_threshold`] consecutive missed rounds.
+//! The table is symmetric. The simulator can answer neighbourhood queries
+//! from this (possibly stale) table instead of exact geometry, modelling
+//! the protocol's detection lag.
+
+/// NDP parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdpConfig {
+    /// Beacon rounds a known link may miss before it is declared failed.
+    pub miss_threshold: u32,
+}
+
+impl Default for NdpConfig {
+    fn default() -> Self {
+        NdpConfig { miss_threshold: 3 }
+    }
+}
+
+/// A link-state change produced by a beacon round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// Hosts `.0` and `.1` discovered each other.
+    Up(usize, usize),
+    /// The link between hosts `.0` and `.1` failed (beacons missed).
+    Down(usize, usize),
+}
+
+/// The beacon-maintained pairwise link table.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_net::{LinkEvent, Ndp, NdpConfig};
+///
+/// let mut ndp = Ndp::new(3, NdpConfig { miss_threshold: 2 });
+/// let active = vec![true; 3];
+/// // Hosts 0 and 1 in range, 2 isolated:
+/// let events = ndp.beacon_round(|a, b| (a, b) == (0, 1), &active);
+/// assert_eq!(events, vec![LinkEvent::Up(0, 1)]);
+/// assert!(ndp.is_linked(0, 1));
+/// // They separate; the link survives one missed round...
+/// assert!(ndp.beacon_round(|_, _| false, &active).is_empty());
+/// // ...and fails on the second.
+/// assert_eq!(
+///     ndp.beacon_round(|_, _| false, &active),
+///     vec![LinkEvent::Down(0, 1)]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ndp {
+    n: usize,
+    config: NdpConfig,
+    linked: Vec<bool>,
+    missed: Vec<u32>,
+}
+
+impl Ndp {
+    /// Creates an empty link table for `n` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the miss threshold is zero.
+    pub fn new(n: usize, config: NdpConfig) -> Self {
+        assert!(n > 0, "need at least one host");
+        assert!(config.miss_threshold > 0, "miss threshold must be positive");
+        let pairs = n * (n - 1) / 2;
+        Ndp {
+            n,
+            config,
+            linked: vec![false; pairs],
+            missed: vec![0; pairs],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < self.n);
+        // Upper-triangle row-major index.
+        a * self.n - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    /// Runs one beacon round: `in_range(a, b)` (called with `a < b`) says
+    /// whether the pair currently hears each other; `active` masks
+    /// disconnected hosts (their beacons stop, so their links age out like
+    /// any other). Returns the link-state changes, `Up`s before `Down`s in
+    /// pair order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is shorter than the host count.
+    pub fn beacon_round(
+        &mut self,
+        in_range: impl Fn(usize, usize) -> bool,
+        active: &[bool],
+    ) -> Vec<LinkEvent> {
+        assert!(active.len() >= self.n, "active mask too short");
+        let mut events = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let idx = self.pair_index(a, b);
+                let heard = active[a] && active[b] && in_range(a, b);
+                if heard {
+                    self.missed[idx] = 0;
+                    if !self.linked[idx] {
+                        self.linked[idx] = true;
+                        events.push(LinkEvent::Up(a, b));
+                    }
+                } else if self.linked[idx] {
+                    self.missed[idx] += 1;
+                    if self.missed[idx] >= self.config.miss_threshold {
+                        self.linked[idx] = false;
+                        self.missed[idx] = 0;
+                        events.push(LinkEvent::Down(a, b));
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Whether the table currently links `a` and `b` (order-insensitive;
+    /// a host is never linked to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn is_linked(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "host index out of range");
+        if a == b {
+            return false;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.linked[self.pair_index(lo, hi)]
+    }
+
+    /// The current neighbours of `i` per the link table.
+    pub fn neighbors_of(&self, i: usize) -> Vec<usize> {
+        (0..self.n).filter(|&j| self.is_linked(i, j)).collect()
+    }
+
+    /// Hosts reachable from `src` within `hops` hops of the link-table
+    /// graph, with the hop count at which each is first reached
+    /// (breadth-first; `src` excluded). The NDP analogue of the geometric
+    /// query in `grococa-mobility`.
+    pub fn reachable_within_hops(&self, src: usize, hops: u32) -> Vec<(usize, u32)> {
+        let mut dist = vec![u32::MAX; self.n];
+        dist[src] = 0;
+        let mut frontier = vec![src];
+        let mut out = Vec::new();
+        for hop in 1..=hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for (v, d) in dist.iter_mut().enumerate() {
+                    if *d == u32::MAX && self.is_linked(u, v) {
+                        *d = hop;
+                        next.push(v);
+                        out.push((v, hop));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Total links currently up.
+    pub fn link_count(&self) -> usize {
+        self.linked.iter().filter(|&&l| l).count()
+    }
+
+    /// Forgets everything (e.g. after a simulation reset).
+    pub fn clear(&mut self) {
+        self.linked.fill(false);
+        self.missed.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_active(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn links_come_up_immediately() {
+        let mut ndp = Ndp::new(4, NdpConfig::default());
+        let ev = ndp.beacon_round(|a, b| a + 1 == b, &all_active(4));
+        assert_eq!(
+            ev,
+            vec![LinkEvent::Up(0, 1), LinkEvent::Up(1, 2), LinkEvent::Up(2, 3)]
+        );
+        assert_eq!(ndp.link_count(), 3);
+        assert!(ndp.is_linked(1, 0), "links are symmetric");
+        assert!(!ndp.is_linked(0, 2));
+        assert!(!ndp.is_linked(2, 2), "no self links");
+    }
+
+    #[test]
+    fn failure_needs_threshold_misses() {
+        let mut ndp = Ndp::new(2, NdpConfig { miss_threshold: 3 });
+        ndp.beacon_round(|_, _| true, &all_active(2));
+        for round in 0..2 {
+            let ev = ndp.beacon_round(|_, _| false, &all_active(2));
+            assert!(ev.is_empty(), "link died too early at round {round}");
+            assert!(ndp.is_linked(0, 1));
+        }
+        let ev = ndp.beacon_round(|_, _| false, &all_active(2));
+        assert_eq!(ev, vec![LinkEvent::Down(0, 1)]);
+        assert_eq!(ndp.link_count(), 0);
+    }
+
+    #[test]
+    fn hearing_again_resets_the_miss_counter() {
+        let mut ndp = Ndp::new(2, NdpConfig { miss_threshold: 2 });
+        ndp.beacon_round(|_, _| true, &all_active(2));
+        ndp.beacon_round(|_, _| false, &all_active(2)); // one miss
+        ndp.beacon_round(|_, _| true, &all_active(2)); // heard again
+        let ev = ndp.beacon_round(|_, _| false, &all_active(2)); // one miss again
+        assert!(ev.is_empty(), "counter must reset on a heard beacon");
+        assert!(ndp.is_linked(0, 1));
+    }
+
+    #[test]
+    fn inactive_hosts_stop_beaconing() {
+        let mut ndp = Ndp::new(2, NdpConfig { miss_threshold: 1 });
+        ndp.beacon_round(|_, _| true, &all_active(2));
+        let ev = ndp.beacon_round(|_, _| true, &[true, false]);
+        assert_eq!(ev, vec![LinkEvent::Down(0, 1)], "silent host ages out");
+    }
+
+    #[test]
+    fn bfs_over_link_table() {
+        let mut ndp = Ndp::new(5, NdpConfig::default());
+        // A chain 0-1-2-3 with 4 isolated.
+        ndp.beacon_round(|a, b| b == a + 1 && b <= 3, &all_active(5));
+        let mut reach = ndp.reachable_within_hops(0, 2);
+        reach.sort_unstable();
+        assert_eq!(reach, vec![(1, 1), (2, 2)]);
+        assert_eq!(ndp.reachable_within_hops(4, 3), vec![]);
+    }
+
+    #[test]
+    fn neighbors_of_lists_current_links() {
+        let mut ndp = Ndp::new(3, NdpConfig::default());
+        ndp.beacon_round(|a, b| (a, b) != (0, 2), &all_active(3));
+        assert_eq!(ndp.neighbors_of(1), vec![0, 2]);
+        assert_eq!(ndp.neighbors_of(0), vec![1]);
+    }
+
+    #[test]
+    fn clear_resets_the_table() {
+        let mut ndp = Ndp::new(3, NdpConfig::default());
+        ndp.beacon_round(|_, _| true, &all_active(3));
+        ndp.clear();
+        assert_eq!(ndp.link_count(), 0);
+    }
+
+    #[test]
+    fn pair_index_covers_triangle_uniquely() {
+        let ndp = Ndp::new(7, NdpConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                assert!(seen.insert(ndp.pair_index(a, b)), "collision at ({a},{b})");
+            }
+        }
+        assert_eq!(seen.len(), 21);
+        assert!(seen.iter().all(|&i| i < 21));
+    }
+}

@@ -1,0 +1,184 @@
+//! The push-based data dissemination channel (a flat broadcast disk).
+//!
+//! The paper's introduction contrasts pull-based dissemination with
+//! push-based and hybrid models, in which the MSS cyclically broadcasts
+//! popular items on a scalable downlink that every host can tune into;
+//! the authors evaluate COCA in such a hybrid environment in a companion
+//! paper. [`PushSchedule`] models the flat (single-disk) broadcast
+//! program: a cycle of equal slots, one item per slot, repeating forever.
+
+use grococa_sim::SimTime;
+
+/// A cyclic broadcast program: `items[i]` occupies slot `i` of every
+/// cycle, each slot lasting `slot_time`.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_net::PushSchedule;
+/// use grococa_sim::SimTime;
+///
+/// let slot = SimTime::from_millis(10);
+/// let sched = PushSchedule::new(vec![7, 8, 9], slot);
+/// assert_eq!(sched.cycle_time(), SimTime::from_millis(30));
+/// // Item 8's first delivery completes at the end of slot 1.
+/// assert_eq!(
+///     sched.next_delivery(8, SimTime::ZERO),
+///     Some(SimTime::from_millis(20))
+/// );
+/// assert_eq!(sched.next_delivery(99, SimTime::ZERO), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PushSchedule {
+    items: Vec<u64>,
+    slot_time: SimTime,
+}
+
+impl PushSchedule {
+    /// Creates a schedule broadcasting `items` cyclically, one per
+    /// `slot_time`. An empty item list is a silent channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_time` is zero while items are scheduled.
+    pub fn new(items: Vec<u64>, slot_time: SimTime) -> Self {
+        assert!(
+            items.is_empty() || slot_time > SimTime::ZERO,
+            "broadcast slots must take time"
+        );
+        PushSchedule { items, slot_time }
+    }
+
+    /// Number of items in the cycle.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the channel is silent.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// One full cycle's duration.
+    pub fn cycle_time(&self) -> SimTime {
+        SimTime::from_micros(self.slot_time.as_micros() * self.items.len() as u64)
+    }
+
+    /// Whether `key` is on the program.
+    pub fn contains(&self, key: u64) -> bool {
+        self.items.contains(&key)
+    }
+
+    /// The completion instant of the next broadcast of `key` at or after
+    /// `now`, or `None` if `key` is not scheduled.
+    ///
+    /// A host that tunes in at `now` must wait for a *complete* slot: if
+    /// `now` falls inside `key`'s slot, the delivery only lands next
+    /// cycle.
+    pub fn next_delivery(&self, key: u64, now: SimTime) -> Option<SimTime> {
+        let index = self.items.iter().position(|&k| k == key)? as u64;
+        let slot = self.slot_time.as_micros();
+        let cycle = slot * self.items.len() as u64;
+        let start_this_cycle = (now.as_micros() / cycle) * cycle + index * slot;
+        let start = if start_this_cycle >= now.as_micros() {
+            start_this_cycle
+        } else {
+            start_this_cycle + cycle
+        };
+        Some(SimTime::from_micros(start + slot))
+    }
+
+    /// Mean waiting time for a scheduled item from a uniformly random
+    /// tune-in instant: half a cycle plus one slot.
+    pub fn expected_wait(&self) -> SimTime {
+        if self.items.is_empty() {
+            return SimTime::ZERO;
+        }
+        SimTime::from_micros(
+            self.cycle_time().as_micros() / 2 + self.slot_time.as_micros(),
+        )
+    }
+
+    /// The scheduled items, in slot order.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> PushSchedule {
+        PushSchedule::new(vec![10, 20, 30, 40], SimTime::from_millis(5))
+    }
+
+    #[test]
+    fn delivery_times_follow_slots() {
+        let s = sched();
+        // Tune in at t = 0: item 10 completes at 5 ms, 40 at 20 ms.
+        assert_eq!(s.next_delivery(10, SimTime::ZERO), Some(SimTime::from_millis(5)));
+        assert_eq!(s.next_delivery(40, SimTime::ZERO), Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn mid_slot_tune_in_waits_a_full_cycle() {
+        let s = sched();
+        // Item 10's slot is [0, 5) ms. Tuning in at 1 ms misses its start.
+        assert_eq!(
+            s.next_delivery(10, SimTime::from_millis(1)),
+            Some(SimTime::from_millis(25))
+        );
+        // But item 20's slot [5, 10) has not started yet.
+        assert_eq!(
+            s.next_delivery(20, SimTime::from_millis(1)),
+            Some(SimTime::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn slot_boundary_is_inclusive_of_the_upcoming_slot() {
+        let s = sched();
+        // Exactly at t = 5 ms, item 20's slot starts now: catch it.
+        assert_eq!(
+            s.next_delivery(20, SimTime::from_millis(5)),
+            Some(SimTime::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn later_cycles_repeat() {
+        let s = sched();
+        let first = s.next_delivery(30, SimTime::ZERO).unwrap();
+        let second = s.next_delivery(30, first).unwrap();
+        assert_eq!(second - first, s.cycle_time());
+    }
+
+    #[test]
+    fn unscheduled_items_return_none() {
+        assert_eq!(sched().next_delivery(99, SimTime::ZERO), None);
+        assert!(!sched().contains(99));
+        assert!(sched().contains(20));
+    }
+
+    #[test]
+    fn empty_schedule_is_silent() {
+        let s = PushSchedule::new(Vec::new(), SimTime::ZERO);
+        assert!(s.is_empty());
+        assert_eq!(s.next_delivery(1, SimTime::ZERO), None);
+        assert_eq!(s.expected_wait(), SimTime::ZERO);
+        assert_eq!(s.cycle_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn expected_wait_is_half_cycle_plus_slot() {
+        let s = sched(); // cycle 20 ms, slot 5 ms
+        assert_eq!(s.expected_wait(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must take time")]
+    fn zero_slot_with_items_rejected() {
+        PushSchedule::new(vec![1], SimTime::ZERO);
+    }
+}

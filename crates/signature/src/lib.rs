@@ -1,0 +1,55 @@
+//! The GroCoca cache-signature scheme (paper Section IV.D).
+//!
+//! Four signature kinds are built on one bloom-filter substrate:
+//!
+//! * a **data signature** is the filter of a single item — represented
+//!   sparsely by [`data_positions`];
+//! * a **cache signature** summarises a host's cache, maintained
+//!   incrementally by a [`CountingFilter`] so insertions/evictions don't
+//!   force a full rebuild;
+//! * a **peer signature** superimposes the cache signatures of a host's
+//!   tightly-coupled group, held in a dynamic-width [`PeerVector`];
+//! * a **search signature** is the data signature of a wanted item, tested
+//!   against the peer signature with a bitwise AND
+//!   ([`PeerVector::covers`]) to decide whether searching the peers' caches
+//!   is worthwhile.
+//!
+//! Signatures travelling between peers may be compressed with the VLFL
+//! run-length code ([`CompressedSignature`]); [`find_optimal_r`] is the
+//! paper's Algorithm 4 and [`compression_choice`] its compress-or-not rule.
+//!
+//! # Examples
+//!
+//! The filtering mechanism end to end:
+//!
+//! ```
+//! use grococa_signature::{data_positions, BloomFilter, PeerVector};
+//!
+//! // A TCG member caches items 1..50 and ships its cache signature.
+//! let mut member = BloomFilter::new(10_000, 2);
+//! for item in 1..50u64 {
+//!     member.insert(item);
+//! }
+//! let mut peer_sig = PeerVector::new(10_000, 2);
+//! peer_sig.add_signature(&member);
+//!
+//! // Local miss on item 10: the search signature passes → search peers.
+//! assert!(peer_sig.covers(&data_positions(10, 10_000, 2)));
+//! // Item 9_999 was never cached: almost surely bypass straight to the MSS.
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bloom;
+mod counting;
+mod peer_vector;
+mod vlfl;
+
+pub use bloom::{data_positions, BloomFilter};
+pub use counting::{CountingFilter, NeedsRebuild};
+pub use peer_vector::PeerVector;
+pub use vlfl::{
+    compression_choice, expected_compressed_bits, expected_run_length, find_optimal_r,
+    zero_probability, CompressedSignature, DecodeSignatureError,
+};

@@ -1,0 +1,292 @@
+//! The discrete-event scheduler.
+//!
+//! Events carry an application-defined payload `E`. Two events scheduled for
+//! the same instant fire in the order they were scheduled (FIFO tie-break via
+//! a monotone sequence number), which keeps simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A unique handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order is *reversed* so that `BinaryHeap` (a max-heap) pops the earliest
+// event first; ties break on schedule order.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+/// A discrete-event scheduler: a simulation clock plus a pending-event queue.
+///
+/// The scheduler is driven by repeatedly calling [`Scheduler::pop`], which
+/// advances the clock to the next event and returns its payload. Application
+/// code (the event handler) schedules follow-up events with
+/// [`Scheduler::schedule_after`] / [`Scheduler::schedule_at`].
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::{Scheduler, SimTime};
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_after(SimTime::from_secs(2), "second");
+/// sched.schedule_after(SimTime::from_secs(1), "first");
+/// assert_eq!(sched.pop().map(|e| e.1), Some("first"));
+/// assert_eq!(sched.now(), SimTime::from_secs(1));
+/// assert_eq!(sched.pop().map(|e| e.1), Some("second"));
+/// assert_eq!(sched.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: Vec<u64>,
+    fired: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired (popped) so far.
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedules `payload` to fire at the absolute instant `at`.
+    ///
+    /// Events scheduled in the past fire "now": the clock never moves
+    /// backwards, so an `at` earlier than [`Scheduler::now`] is clamped to
+    /// the current time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at: at.max(self.now),
+            seq,
+            payload,
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) -> EventId {
+        self.schedule_at(self.now.saturating_add(delay), payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the event stays in the queue but is skipped when
+    /// it reaches the front. Cancelling an event that already fired is a
+    /// no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id.0);
+    }
+
+    /// Pops the next pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == ev.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            self.now = ev.at;
+            self.fired += 1;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let at = self.heap.peek()?.at;
+            if at > deadline {
+                return None;
+            }
+            let ev = self.heap.pop().expect("peeked event vanished");
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == ev.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            self.now = ev.at;
+            self.fired += 1;
+            return Some((ev.at, ev.payload));
+        }
+    }
+}
+
+/// Runs a simulation to completion (or until `until`), dispatching every
+/// event to `handler`.
+///
+/// This is the main loop used by the GroCoca simulator: the world state and
+/// the scheduler are kept separate so the handler can freely mutate both.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::{run_until, Scheduler, SimTime};
+///
+/// struct World {
+///     ticks: u32,
+/// }
+/// let mut world = World { ticks: 0 };
+/// let mut sched = Scheduler::new();
+/// sched.schedule_at(SimTime::from_secs(1), ());
+/// run_until(&mut world, &mut sched, SimTime::from_secs(10), |w, s, ()| {
+///     w.ticks += 1;
+///     if w.ticks < 5 {
+///         s.schedule_after(SimTime::from_secs(1), ());
+///     }
+/// });
+/// assert_eq!(world.ticks, 5);
+/// ```
+pub fn run_until<W, E>(
+    world: &mut W,
+    sched: &mut Scheduler<E>,
+    until: SimTime,
+    mut handler: impl FnMut(&mut W, &mut Scheduler<E>, E),
+) {
+    while let Some((_, ev)) = sched.pop_until(until) {
+        handler(world, sched, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|e| e.1)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), "later");
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        // Scheduling "in the past" clamps to now.
+        s.schedule_at(SimTime::from_secs(1), "past");
+        let (at, _) = s.pop().unwrap();
+        assert_eq!(at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let _a = s.schedule_after(SimTime::from_secs(1), 1);
+        let b = s.schedule_after(SimTime::from_secs(2), 2);
+        let _c = s.schedule_after(SimTime::from_secs(3), 3);
+        s.cancel(b);
+        assert_eq!(s.pending(), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|e| e.1)).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let a = s.schedule_after(SimTime::from_secs(1), 1);
+        s.schedule_after(SimTime::from_secs(2), 2);
+        assert_eq!(s.pop().map(|e| e.1), Some(1));
+        s.cancel(a);
+        // The second event must still fire even though a stale cancel exists.
+        assert_eq!(s.pop().map(|e| e.1), Some(2));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(3), 3);
+        assert!(s.pop_until(SimTime::from_secs(2)).is_some());
+        assert!(s.pop_until(SimTime::from_secs(2)).is_none());
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_counts_events() {
+        let mut count = 0u32;
+        let mut s: Scheduler<()> = Scheduler::new();
+        for i in 1..=20 {
+            s.schedule_at(SimTime::from_secs(i), ());
+        }
+        run_until(&mut count, &mut s, SimTime::from_secs(10), |c, _, ()| {
+            *c += 1
+        });
+        assert_eq!(count, 10);
+        assert_eq!(s.events_fired(), 10);
+    }
+}

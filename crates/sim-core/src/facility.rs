@@ -1,0 +1,181 @@
+//! FIFO queueing facilities, in the style of CSIM's `facility`.
+//!
+//! A [`Facility`] models a resource with a single server and an unbounded
+//! FIFO queue — a wireless downlink, an uplink, a radio. A job that arrives
+//! while the server is busy queues behind prior jobs; the facility computes
+//! its completion time analytically, so no per-queue-slot events are needed.
+
+use crate::SimTime;
+
+/// A single-server FIFO queueing resource with an infinite queue.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::{Facility, SimTime};
+///
+/// let mut link = Facility::new("downlink");
+/// // Two back-to-back 100 ms transmissions arriving at t=0:
+/// let end1 = link.enqueue(SimTime::ZERO, SimTime::from_millis(100));
+/// let end2 = link.enqueue(SimTime::ZERO, SimTime::from_millis(100));
+/// assert_eq!(end1, SimTime::from_millis(100));
+/// assert_eq!(end2, SimTime::from_millis(200)); // queued behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct Facility {
+    name: &'static str,
+    free_at: SimTime,
+    jobs: u64,
+    busy_micros: u64,
+    queued_micros: u64,
+}
+
+impl Facility {
+    /// Creates an idle facility. `name` labels it in reports.
+    pub fn new(name: &'static str) -> Self {
+        Facility {
+            name,
+            free_at: SimTime::ZERO,
+            jobs: 0,
+            busy_micros: 0,
+            queued_micros: 0,
+        }
+    }
+
+    /// The facility's label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Submits a job arriving at `arrival` needing `service` of server time;
+    /// returns the instant the job completes (queueing + service).
+    pub fn enqueue(&mut self, arrival: SimTime, service: SimTime) -> SimTime {
+        let start = self.free_at.max(arrival);
+        let end = start.saturating_add(service);
+        self.jobs += 1;
+        self.busy_micros += service.as_micros();
+        self.queued_micros += start.saturating_sub(arrival).as_micros();
+        self.free_at = end;
+        end
+    }
+
+    /// The earliest instant at which the server is idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Whether a job arriving at `at` would have to wait.
+    pub fn is_busy_at(&self, at: SimTime) -> bool {
+        self.free_at > at
+    }
+
+    /// Total jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Mean queueing delay per job, in seconds. Zero if no jobs were served.
+    pub fn mean_queue_delay_secs(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.queued_micros as f64 / self.jobs as f64 / 1e6
+        }
+    }
+
+    /// Server utilisation over `[0, horizon]` (busy time / horizon).
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_micros as f64 / horizon.as_micros() as f64
+        }
+    }
+
+    /// Resets all counters and frees the server, keeping the name.
+    pub fn reset(&mut self) {
+        *self = Facility::new(self.name);
+    }
+}
+
+/// Computes a transmission duration for `bytes` over a link of
+/// `bandwidth_kbps` kilobits per second, rounded up to a whole microsecond.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::transmission_time;
+///
+/// // 1 KiB over a 2 Mb/s link: 8192 bits / 2000 kb/s = 4.096 ms.
+/// assert_eq!(transmission_time(1024, 2_000).as_micros(), 4_096);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bandwidth_kbps` is zero.
+pub fn transmission_time(bytes: u64, bandwidth_kbps: u64) -> SimTime {
+    assert!(bandwidth_kbps > 0, "link bandwidth must be positive");
+    let bits = bytes * 8;
+    // micros = bits / (kbps * 1000) * 1e6 = bits * 1000 / kbps, rounded up.
+    let micros = (bits * 1_000).div_ceil(bandwidth_kbps);
+    SimTime::from_micros(micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_facility_serves_immediately() {
+        let mut f = Facility::new("t");
+        let end = f.enqueue(SimTime::from_secs(5), SimTime::from_secs(1));
+        assert_eq!(end, SimTime::from_secs(6));
+        assert_eq!(f.mean_queue_delay_secs(), 0.0);
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut f = Facility::new("t");
+        let a = f.enqueue(SimTime::ZERO, SimTime::from_secs(2));
+        let b = f.enqueue(SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(a, SimTime::from_secs(2));
+        assert_eq!(b, SimTime::from_secs(4)); // waited 1s
+        assert_eq!(f.jobs(), 2);
+        assert!((f.mean_queue_delay_secs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate_busy_time() {
+        let mut f = Facility::new("t");
+        f.enqueue(SimTime::ZERO, SimTime::from_secs(1));
+        // `free_at`/`is_busy_at` are prospective: query before later arrivals.
+        assert!(!f.is_busy_at(SimTime::from_secs(5)));
+        f.enqueue(SimTime::from_secs(10), SimTime::from_secs(1));
+        assert!((f.utilisation(SimTime::from_secs(20)) - 0.1).abs() < 1e-9);
+        assert!(f.is_busy_at(SimTime::from_micros(10_500_000)));
+    }
+
+    #[test]
+    fn transmission_time_rounds_up() {
+        // 1 byte over 1 Gb/s: 8 bits / 1e6 kbps -> 0.008 µs -> rounds to 1 µs.
+        assert_eq!(transmission_time(1, 1_000_000).as_micros(), 1);
+        // 3 KB data item over 2 Mb/s P2P channel: 24576 bits -> 12.288 ms.
+        assert_eq!(transmission_time(3072, 2_000).as_micros(), 12_288);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        transmission_time(1, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = Facility::new("t");
+        f.enqueue(SimTime::ZERO, SimTime::from_secs(1));
+        f.reset();
+        assert_eq!(f.jobs(), 0);
+        assert_eq!(f.free_at(), SimTime::ZERO);
+        assert_eq!(f.name(), "t");
+    }
+}

@@ -1,0 +1,331 @@
+//! Incremental statistics.
+//!
+//! The paper relies on two online estimators: Welford's incremental
+//! mean/standard deviation (Knuth, *TAOCP* vol. 2, cited for the adaptive
+//! peer-search timeout τ = τ̄ + φ′·σ_τ) and the exponentially weighted moving
+//! average (EWMA) used for both the weighted average distance between mobile
+//! hosts and per-item update intervals.
+
+/// Welford's online mean / variance estimator.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.record(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.stddev() - 2.0).abs() < 1e-12); // population σ = 2
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean; zero before any observation.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance; zero before two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Merges another estimator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// An exponentially weighted moving average:
+/// `new = ω·sample + (1-ω)·old` (Equation 1 of the paper).
+///
+/// Until the first sample arrives the average is undefined; the first sample
+/// initialises it directly, exactly as the paper initialises the weighted
+/// average distance to the first observed distance.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// assert!(e.value().is_none());
+/// e.record(10.0);
+/// assert_eq!(e.value(), Some(10.0));
+/// e.record(20.0);
+/// assert_eq!(e.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    weight: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing weight `weight` ∈ [0, 1] (the paper's
+    /// ω / α: the importance of the most recent sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `[0, 1]` or not finite.
+    pub fn new(weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && (0.0..=1.0).contains(&weight),
+            "EWMA weight must lie in [0, 1], got {weight}"
+        );
+        Ewma {
+            weight,
+            value: None,
+        }
+    }
+
+    /// The smoothing weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Folds one sample in.
+    pub fn record(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(old) => self.weight * sample + (1.0 - self.weight) * old,
+        });
+    }
+
+    /// The current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current average, or `default` before the first sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// A hit/total ratio counter for cache statistics.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.hit();
+/// r.miss();
+/// r.miss();
+/// assert!((r.ratio() - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(r.total(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records a hit (also counts towards the total).
+    pub fn hit(&mut self) {
+        self.hits += 1;
+        self.total += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.total += 1;
+    }
+
+    /// Records a hit or a miss.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hit()
+        } else {
+            self.miss()
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Observations so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Hits / total, or zero when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The ratio as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.0, 2.5, 3.5, -4.0, 10.0, 0.0, 6.25];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.record(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert!((w.sum() - data.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_degenerate_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        w.record(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let (a_data, b_data) = ([1.0, 2.0, 3.0], [10.0, 20.0, 30.0, 40.0]);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut seq = Welford::new();
+        for &x in &a_data {
+            a.record(x);
+            seq.record(x);
+        }
+        for &x in &b_data {
+            b.record(x);
+            seq.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), seq.count());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), 3.0);
+        let empty = Welford::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn ewma_weight_extremes() {
+        let mut keep_old = Ewma::new(0.0);
+        keep_old.record(1.0);
+        keep_old.record(100.0);
+        assert_eq!(keep_old.value(), Some(1.0));
+
+        let mut keep_new = Ewma::new(1.0);
+        keep_new.record(1.0);
+        keep_new.record(100.0);
+        assert_eq!(keep_new.value(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn ewma_rejects_bad_weight() {
+        Ewma::new(1.5);
+    }
+
+    #[test]
+    fn ewma_value_or_default() {
+        let e = Ewma::new(0.5);
+        assert_eq!(e.value_or(7.0), 7.0);
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::new().ratio(), 0.0);
+        assert_eq!(Ratio::new().percent(), 0.0);
+    }
+
+    #[test]
+    fn ratio_record_dispatch() {
+        let mut r = Ratio::new();
+        r.record(true);
+        r.record(false);
+        assert_eq!(r.hits(), 1);
+        assert_eq!(r.total(), 2);
+        assert_eq!(r.percent(), 50.0);
+    }
+}

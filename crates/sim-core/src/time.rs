@@ -1,0 +1,173 @@
+//! Simulation time.
+//!
+//! Time is measured in **integer microseconds** so that event ordering is
+//! exact and simulations are bit-reproducible from a seed. Floating-point
+//! time bases accumulate rounding that can reorder events between platforms;
+//! an integer base cannot.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since simulation
+/// start.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::SimTime;
+///
+/// let t = SimTime::from_secs_f64(1.5);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t + SimTime::from_millis(500), SimTime::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and NaN inputs saturate to zero; `+∞` saturates
+    /// to [`SimTime::MAX`].
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        // `as` casts from f64 saturate, so +inf maps to u64::MAX.
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// This instant as whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This instant as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction: `self - earlier`, or zero if `earlier` is
+    /// later than `self`.
+    #[inline]
+    pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, delta: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(delta.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_sub`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs_f64(0.25).as_micros(), 250_000);
+        assert_eq!(SimTime::from_micros(1_500_000).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_micros(2_500).as_millis_f64(), 2.5);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_bad_input() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(2);
+        let b = SimTime::from_secs(5);
+        assert_eq!(b - a, SimTime::from_secs(3));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(a.max(b), b);
+        let mut c = a;
+        c += SimTime::from_secs(1);
+        assert_eq!(c, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload generation for the GroCoca simulator (paper Section V).
+//!
+//! Provides the data-item identifier type ([`ItemId`]), the Zipf rank
+//! sampler ([`Zipf`]), the per-motion-group access pattern
+//! ([`AccessPattern`]) and the server database with Poisson updates and
+//! EWMA-based TTL assignment ([`ServerDb`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use grococa_sim::SimRng;
+//! use grococa_workload::{AccessPattern, ServerDb};
+//!
+//! let mut rng = SimRng::new(11);
+//! let pattern = AccessPattern::new(10_000, 1_000, 0.5, 20, &mut rng);
+//! let db = ServerDb::new(10_000, 0.5);
+//! let item = pattern.sample(3, &mut rng);
+//! assert!(item.as_u64() < db.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod pattern;
+mod server_db;
+mod zipf;
+
+use std::fmt;
+
+pub use pattern::AccessPattern;
+pub use server_db::ServerDb;
+pub use zipf::Zipf;
+
+/// The identifier of a data item held at the mobile support station.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_workload::ItemId;
+///
+/// let item = ItemId::new(42);
+/// assert_eq!(item.as_u64(), 42);
+/// assert_eq!(item.to_string(), "item#42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ItemId(u64);
+
+impl ItemId {
+    /// Wraps a raw identifier.
+    pub const fn new(id: u64) -> Self {
+        ItemId(id)
+    }
+
+    /// The raw identifier — also the key hashed into bloom-filter
+    /// signatures.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The identifier as a dense array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for ItemId {
+    fn from(id: u64) -> Self {
+        ItemId(id)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_conversions() {
+        let i = ItemId::from(9u64);
+        assert_eq!(i, ItemId::new(9));
+        assert_eq!(i.index(), 9);
+        assert_eq!(i.as_u64(), 9);
+    }
+
+    #[test]
+    fn item_id_is_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ItemId::new(1));
+        assert!(set.contains(&ItemId::new(1)));
+        assert!(ItemId::new(1) < ItemId::new(2));
+    }
+}

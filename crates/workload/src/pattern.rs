@@ -1,0 +1,177 @@
+//! Per-motion-group data access patterns.
+//!
+//! In the paper's client model, "the MHs of the same motion group share a
+//! common access range on data items, generating accesses following a Zipf
+//! distribution" (Section V.B), and "the access range of each motion group
+//! is randomly assigned" (Section VI.E). An [`AccessPattern`] assigns each
+//! group a random contiguous window of the database and maps Zipf ranks into
+//! it through a per-group shuffle, so that two overlapping groups do not
+//! trivially share the same hot items.
+
+use grococa_sim::SimRng;
+
+use crate::{ItemId, Zipf};
+
+/// The access-pattern generator for a whole population of motion groups.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::SimRng;
+/// use grococa_workload::AccessPattern;
+///
+/// let mut rng = SimRng::new(3);
+/// let pattern = AccessPattern::new(10_000, 1_000, 0.8, 4, &mut rng);
+/// let item = pattern.sample(0, &mut rng);
+/// assert!(item.as_u64() < 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessPattern {
+    n_data: u64,
+    zipf: Zipf,
+    /// Per group: rank → item id (a shuffled window of the database).
+    rank_maps: Vec<Vec<ItemId>>,
+}
+
+impl AccessPattern {
+    /// Creates patterns for `groups` motion groups over a database of
+    /// `n_data` items, each group confined to a random window of
+    /// `access_range` items, accessed with Zipf skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_data` or `access_range` is zero, `access_range`
+    /// exceeds `n_data`, or `groups` is zero.
+    pub fn new(
+        n_data: u64,
+        access_range: u64,
+        theta: f64,
+        groups: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(n_data > 0, "database must be non-empty");
+        assert!(
+            (1..=n_data).contains(&access_range),
+            "access range must be within 1..=n_data"
+        );
+        assert!(groups > 0, "need at least one group");
+        let zipf = Zipf::new(access_range as usize, theta);
+        let rank_maps = (0..groups)
+            .map(|_| {
+                let start = if n_data == access_range {
+                    0
+                } else {
+                    rng.uniform_u64(n_data - access_range + 1)
+                };
+                let mut window: Vec<ItemId> =
+                    (start..start + access_range).map(ItemId::new).collect();
+                // Fisher–Yates: which window items are hot differs per group.
+                for i in (1..window.len()).rev() {
+                    let j = rng.uniform_usize(i + 1);
+                    window.swap(i, j);
+                }
+                window
+            })
+            .collect();
+        AccessPattern {
+            n_data,
+            zipf,
+            rank_maps,
+        }
+    }
+
+    /// Number of motion groups.
+    pub fn groups(&self) -> usize {
+        self.rank_maps.len()
+    }
+
+    /// Database size.
+    pub fn n_data(&self) -> u64 {
+        self.n_data
+    }
+
+    /// The Zipf skew θ.
+    pub fn theta(&self) -> f64 {
+        self.zipf.theta()
+    }
+
+    /// Draws the next item for a member of `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn sample(&self, group: usize, rng: &mut SimRng) -> ItemId {
+        let rank = self.zipf.sample(rng);
+        self.rank_maps[group][rank - 1]
+    }
+
+    /// The item a given Zipf rank maps to for `group` (rank 1 = hottest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or `rank` is out of range.
+    pub fn item_at_rank(&self, group: usize, rank: usize) -> ItemId {
+        self.rank_maps[group][rank - 1]
+    }
+
+    /// The set of items group `group` can ever access.
+    pub fn range_of(&self, group: usize) -> &[ItemId] {
+        &self.rank_maps[group]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_contiguous_and_in_range() {
+        let mut rng = SimRng::new(5);
+        let p = AccessPattern::new(1_000, 100, 0.5, 10, &mut rng);
+        for g in 0..10 {
+            let mut ids: Vec<u64> = p.range_of(g).iter().map(|i| i.as_u64()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids.len(), 100);
+            assert_eq!(ids.last().unwrap() - ids.first().unwrap(), 99, "contiguous");
+            assert!(*ids.last().unwrap() < 1_000);
+        }
+    }
+
+    #[test]
+    fn members_of_same_group_share_hot_items() {
+        let mut rng = SimRng::new(6);
+        let p = AccessPattern::new(10_000, 50, 1.0, 2, &mut rng);
+        // The hottest item of a group is fixed.
+        assert_eq!(p.item_at_rank(0, 1), p.item_at_rank(0, 1));
+        // Two groups almost surely differ in hottest item.
+        assert_ne!(p.item_at_rank(0, 1), p.item_at_rank(1, 1));
+    }
+
+    #[test]
+    fn samples_stay_within_group_window() {
+        let mut rng = SimRng::new(7);
+        let p = AccessPattern::new(500, 20, 0.8, 3, &mut rng);
+        for g in 0..3 {
+            let window = p.range_of(g).to_vec();
+            for _ in 0..1_000 {
+                assert!(window.contains(&p.sample(g, &mut rng)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_database_access_range_is_allowed() {
+        let mut rng = SimRng::new(8);
+        let p = AccessPattern::new(100, 100, 0.0, 1, &mut rng);
+        let mut ids: Vec<u64> = p.range_of(0).iter().map(|i| i.as_u64()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "access range")]
+    fn oversized_access_range_rejected() {
+        let mut rng = SimRng::new(9);
+        AccessPattern::new(10, 11, 0.5, 1, &mut rng);
+    }
+}

@@ -1,0 +1,230 @@
+//! The mobile support station's database (Sections V.C and IV.F).
+//!
+//! `NData` equal-sized items are updated by a Poisson process at
+//! `DataUpdateRate` items per second. For consistency, the MSS tracks each
+//! item's last-update timestamp `t_l` and an EWMA of its update interval
+//! `u_x`; a client fetching item `x` at `t_c` is granted the time-to-live
+//! `TTL = max(u_x − (t_c − t_l), 0)`. Items that stall (no update for longer
+//! than their current `u_x`) have their interval re-aged periodically.
+
+use grococa_sim::{Ewma, SimRng, SimTime};
+
+use crate::ItemId;
+
+/// The server-side database with per-item update tracking.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::SimTime;
+/// use grococa_workload::{ItemId, ServerDb};
+///
+/// let mut db = ServerDb::new(100, 0.5);
+/// let item = ItemId::new(7);
+/// // Never updated: the copy is valid forever.
+/// assert_eq!(db.ttl_for(item, SimTime::from_secs(10)), SimTime::MAX);
+/// db.apply_update(item, SimTime::from_secs(60));
+/// assert!(db.modified_since(item, SimTime::from_secs(30)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerDb {
+    last_updated: Vec<SimTime>,
+    interval: Vec<Ewma>,
+    ever_updated: Vec<bool>,
+    updates_applied: u64,
+}
+
+impl ServerDb {
+    /// Creates a database of `n_data` items; `alpha` is the EWMA weight of
+    /// the most recent update interval (the paper's α).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_data` is zero or `alpha` is outside `[0, 1]`.
+    pub fn new(n_data: u64, alpha: f64) -> Self {
+        assert!(n_data > 0, "database must be non-empty");
+        ServerDb {
+            last_updated: vec![SimTime::ZERO; n_data as usize],
+            interval: vec![Ewma::new(alpha); n_data as usize],
+            ever_updated: vec![false; n_data as usize],
+            updates_applied: 0,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.last_updated.len() as u64
+    }
+
+    /// Whether the database is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.last_updated.is_empty()
+    }
+
+    /// Total updates applied so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Marks `item` as updated at `now`, folding the observed interval into
+    /// its EWMA and advancing `t_l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    pub fn apply_update(&mut self, item: ItemId, now: SimTime) {
+        let i = item.index();
+        let gap = now.saturating_sub(self.last_updated[i]).as_secs_f64();
+        self.interval[i].record(gap);
+        self.last_updated[i] = now;
+        self.ever_updated[i] = true;
+        self.updates_applied += 1;
+    }
+
+    /// Draws the item for the next Poisson update (uniform over the
+    /// database) and applies it.
+    pub fn random_update(&mut self, now: SimTime, rng: &mut SimRng) -> ItemId {
+        let item = ItemId::new(rng.uniform_u64(self.len()));
+        self.apply_update(item, now);
+        item
+    }
+
+    /// Last update timestamp `t_l` of `item`.
+    pub fn last_updated(&self, item: ItemId) -> SimTime {
+        self.last_updated[item.index()]
+    }
+
+    /// Whether `item` changed after a copy retrieved at `t_r`
+    /// (the validation test `t_r < t_l`).
+    pub fn modified_since(&self, item: ItemId, t_r: SimTime) -> bool {
+        self.ever_updated[item.index()] && t_r < self.last_updated[item.index()]
+    }
+
+    /// The TTL granted to a copy of `item` fetched at `now`:
+    /// `max(u_x − (now − t_l), 0)`. Items never updated get
+    /// [`SimTime::MAX`] (valid forever), matching the paper's
+    /// no-data-update default configuration.
+    pub fn ttl_for(&self, item: ItemId, now: SimTime) -> SimTime {
+        let i = item.index();
+        match self.interval[i].value() {
+            None => SimTime::MAX,
+            Some(u_x) => {
+                let age = now.saturating_sub(self.last_updated[i]).as_secs_f64();
+                SimTime::from_secs_f64((u_x - age).max(0.0))
+            }
+        }
+    }
+
+    /// The expiry instant for a copy fetched at `now` (`now + TTL`,
+    /// saturating).
+    pub fn expiry_for(&self, item: ItemId, now: SimTime) -> SimTime {
+        let ttl = self.ttl_for(item, now);
+        if ttl == SimTime::MAX {
+            SimTime::MAX
+        } else {
+            now.saturating_add(ttl)
+        }
+    }
+
+    /// The periodic re-aging pass: every item idle for longer than its
+    /// current `u_x` has `u_new = α·(now − t_l) + (1 − α)·u_old` folded in
+    /// (without touching `t_l` — the content did not change).
+    pub fn age_stale_intervals(&mut self, now: SimTime) {
+        for i in 0..self.last_updated.len() {
+            if let Some(u_x) = self.interval[i].value() {
+                let idle = now.saturating_sub(self.last_updated[i]).as_secs_f64();
+                if idle > u_x {
+                    self.interval[i].record(idle);
+                }
+            }
+        }
+    }
+
+    /// The current EWMA update interval of `item`, seconds, if any update
+    /// has been observed.
+    pub fn update_interval(&self, item: ItemId) -> Option<f64> {
+        self.interval[item.index()].value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn never_updated_items_live_forever() {
+        let db = ServerDb::new(10, 0.5);
+        assert_eq!(db.ttl_for(ItemId::new(3), t(100)), SimTime::MAX);
+        assert_eq!(db.expiry_for(ItemId::new(3), t(100)), SimTime::MAX);
+        assert!(!db.modified_since(ItemId::new(3), SimTime::ZERO));
+    }
+
+    #[test]
+    fn ttl_shrinks_with_copy_age() {
+        let mut db = ServerDb::new(10, 1.0);
+        let x = ItemId::new(1);
+        db.apply_update(x, t(100)); // first interval sample: 100 s
+        // Fetch immediately after the update: full interval remains.
+        assert_eq!(db.ttl_for(x, t(100)), t(100));
+        // Fetch 40 s later: 60 s remain.
+        assert_eq!(db.ttl_for(x, t(140)), t(60));
+        // Fetch long after: TTL zero, forcing validation next access.
+        assert_eq!(db.ttl_for(x, t(300)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ewma_interval_follows_update_gaps() {
+        let mut db = ServerDb::new(10, 0.5);
+        let x = ItemId::new(2);
+        db.apply_update(x, t(100));
+        db.apply_update(x, t(160)); // gap 60 → u = 0.5·60 + 0.5·100 = 80
+        assert!((db.update_interval(x).unwrap() - 80.0).abs() < 1e-9);
+        assert_eq!(db.last_updated(x), t(160));
+    }
+
+    #[test]
+    fn modified_since_compares_t_r_with_t_l() {
+        let mut db = ServerDb::new(10, 0.5);
+        let x = ItemId::new(0);
+        db.apply_update(x, t(50));
+        assert!(db.modified_since(x, t(40)));
+        assert!(!db.modified_since(x, t(50)));
+        assert!(!db.modified_since(x, t(60)));
+    }
+
+    #[test]
+    fn aging_inflates_stale_intervals() {
+        let mut db = ServerDb::new(4, 0.5);
+        let x = ItemId::new(0);
+        db.apply_update(x, t(10)); // u = 10
+        let before = db.update_interval(x).unwrap();
+        db.age_stale_intervals(t(100)); // idle 90 > 10 → u = 0.5·90 + 0.5·10 = 50
+        let after = db.update_interval(x).unwrap();
+        assert!(after > before);
+        assert!((after - (0.5 * 90.0 + 0.5 * before)).abs() < 1e-9);
+        // Items within their interval are untouched.
+        let y = ItemId::new(1);
+        db.apply_update(y, t(99));
+        let u_y = db.update_interval(y).unwrap();
+        db.age_stale_intervals(t(100));
+        assert_eq!(db.update_interval(y).unwrap(), u_y);
+    }
+
+    #[test]
+    fn random_updates_cover_database() {
+        let mut db = ServerDb::new(20, 0.5);
+        let mut rng = SimRng::new(4);
+        for s in 0..500 {
+            db.random_update(t(s), &mut rng);
+        }
+        assert_eq!(db.updates_applied(), 500);
+        let touched = (0..20)
+            .filter(|&i| db.update_interval(ItemId::new(i)).is_some())
+            .count();
+        assert!(touched >= 19, "only {touched} of 20 items updated in 500 draws");
+    }
+}

@@ -1,0 +1,169 @@
+//! Zipf-distributed rank sampling.
+//!
+//! The paper's client model draws data accesses from a Zipf distribution
+//! with skewness parameter θ: `P(rank i) ∝ 1 / i^θ`, where θ = 0 is uniform
+//! and θ = 1 is classic Zipf (Section V.B, swept in Figure 3).
+
+use grococa_sim::SimRng;
+
+/// A Zipf(θ) sampler over ranks `1..=n`, backed by a precomputed cumulative
+/// table (O(log n) per sample, exact).
+///
+/// # Examples
+///
+/// ```
+/// use grococa_sim::SimRng;
+/// use grococa_workload::Zipf;
+///
+/// let zipf = Zipf::new(1_000, 0.8);
+/// let mut rng = SimRng::new(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1_000).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf skew must be a non-negative finite number"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(theta);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative, theta }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is empty (never true for constructed samplers).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The skew θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit_f64();
+        // Rank r is chosen when cumulative[r-2] <= u < cumulative[r-1].
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative table is finite"))
+        {
+            Ok(i) => i + 2, // u == cumulative[i]: the next rank's half-open bin
+            Err(i) => i + 1,
+        }
+        .min(self.cumulative.len())
+    }
+
+    /// The probability of rank `rank` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or above `n`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!((1..=self.cumulative.len()).contains(&rank), "rank out of range");
+        let hi = self.cumulative[rank - 1];
+        let lo = if rank == 1 { 0.0 } else { self.cumulative[rank - 2] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for rank in 1..=10 {
+            assert!((z.probability(rank) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.5, 0.95, 2.0] {
+            let z = Zipf::new(500, theta);
+            let total: f64 = (1..=500).map(|r| z.probability(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta {theta}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let uniform = Zipf::new(100, 0.0);
+        let skewed = Zipf::new(100, 0.9);
+        assert!(skewed.probability(1) > uniform.probability(1) * 3.0);
+        assert!(skewed.probability(100) < uniform.probability(100));
+    }
+
+    #[test]
+    fn samples_match_distribution() {
+        let z = Zipf::new(50, 0.8);
+        let mut rng = SimRng::new(17);
+        let n = 100_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        // Rank 1 empirical frequency within 10% of theory.
+        let emp = counts[0] as f64 / n as f64;
+        let theory = z.probability(1);
+        assert!(
+            (emp - theory).abs() / theory < 0.1,
+            "empirical {emp} vs theory {theory}"
+        );
+        // Monotone-ish: hot ranks beat cold ranks by a wide margin.
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 1.0);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=3).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be")]
+    fn negative_theta_rejected() {
+        Zipf::new(10, -0.1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Campus tour: the paper's motivating scenario — groups of students
+//! roaming a campus together, each group working on shared course
+//! material. Shows how GroCoca discovers the tightly-coupled groups from
+//! passive observations and what that buys.
+//!
+//! ```text
+//! cargo run --release --example campus_tour
+//! ```
+
+use grococa::{Scheme, SimConfig, Simulation};
+
+fn campus_config(scheme: Scheme) -> SimConfig {
+    SimConfig {
+        scheme,
+        // 120 students in study groups of 6 on an 800 m × 800 m campus.
+        num_clients: 120,
+        group_size: 6,
+        space: (800.0, 800.0),
+        speed: (0.5, 2.0), // walking pace
+        group_radius: 30.0,
+        // Each group works on ~500 documents out of a 20 000-document
+        // library; course material is strongly skewed.
+        n_data: 20_000,
+        access_range: 500,
+        theta: 0.8,
+        cache_size: 60,
+        requests_per_mh: 250,
+        seed: 0xCA0905,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    println!("Campus tour — 120 students, study groups of 6, walking pace\n");
+    for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+        let out = Simulation::new(campus_config(scheme)).run();
+        let r = &out.report;
+        println!(
+            "{:<6} latency {:>7.2} ms | hits: {:>4.1}% local, {:>4.1}% from peers, {:>4.1}% server",
+            scheme.label(),
+            r.access_latency_ms,
+            r.local_hit_ratio_pct,
+            r.global_hit_ratio_pct,
+            r.server_request_ratio_pct,
+        );
+    }
+
+    // Inspect the discovered group structure under GroCoca.
+    let (out, world) = Simulation::new(campus_config(Scheme::GroCoca)).run_inspect();
+    let dir = world.tcg_directory().expect("GroCoca keeps a TCG directory");
+    let n = 120;
+    let mut edges = 0usize;
+    let mut same_group = 0usize;
+    let mut with_group = 0usize;
+    for i in 0..n {
+        let members = dir.members_of(i);
+        if !members.is_empty() {
+            with_group += 1;
+        }
+        for &j in members {
+            if j > i {
+                edges += 1;
+                if world.group_of(i) == world.group_of(j) {
+                    same_group += 1;
+                }
+            }
+        }
+    }
+    println!("\nGroCoca's view of the campus (discovered passively at the MSS):");
+    println!("  {with_group}/{n} students were placed in a tightly-coupled group");
+    println!("  {edges} TCG pairs discovered, {same_group} of them inside true study groups");
+    println!(
+        "  {:.1}% of peer hits came from the requester's own TCG",
+        out.report.tcg_share_of_global_pct
+    );
+    println!(
+        "  {} hopeless peer searches were skipped thanks to cache signatures",
+        out.report.filter_bypasses
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run the three caching schemes of the paper on the default
+//! (Table II) configuration and print the headline comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use grococa::{Scheme, SimConfig, Simulation};
+
+fn main() {
+    println!("GroCoca quickstart — 100 mobile hosts, Table II defaults\n");
+    println!(
+        "{:<6} {:>12} {:>8} {:>8} {:>8} {:>14}",
+        "scheme", "latency(ms)", "LCH(%)", "GCH(%)", "SRV(%)", "power/GCH(µWs)"
+    );
+    for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+        let mut cfg = SimConfig::for_scheme(scheme);
+        cfg.requests_per_mh = 300;
+        cfg.seed = 2024;
+        let out = Simulation::new(cfg).run();
+        let r = &out.report;
+        let power = if r.power_per_gch_uws.is_finite() {
+            format!("{:.0}", r.power_per_gch_uws)
+        } else {
+            "—".into()
+        };
+        println!(
+            "{:<6} {:>12.2} {:>8.1} {:>8.1} {:>8.1} {:>14}",
+            scheme.label(),
+            r.access_latency_ms,
+            r.local_hit_ratio_pct,
+            r.global_hit_ratio_pct,
+            r.server_request_ratio_pct,
+            power
+        );
+    }
+    println!(
+        "\nCC = conventional caching, COCA = standard cooperative caching,\n\
+         GC = GroCoca (tightly-coupled groups + cache signatures +\n\
+         cooperative admission control & replacement)."
+    );
+}

@@ -1,0 +1,93 @@
+//! Signature tuning: works the cache-signature substrate directly —
+//! bloom-filter sizing, the optimal VLFL run length (Algorithm 4), and the
+//! compress-or-not rule — then shows how filter geometry feeds through to
+//! whole-system behaviour.
+//!
+//! ```text
+//! cargo run --release --example signature_tuning
+//! ```
+
+use grococa::signature::{
+    compression_choice, expected_compressed_bits, find_optimal_r, zero_probability, BloomFilter,
+    CompressedSignature,
+};
+use grococa::{Scheme, SimConfig, Simulation};
+
+fn main() {
+    let cache_items = 100u64;
+    let k = 2u32;
+
+    println!("Cache-signature design space for a {cache_items}-item cache, k = {k}\n");
+    println!(
+        "{:>9} {:>8} {:>6} {:>13} {:>13} {:>10} {:>9}",
+        "σ (bits)", "φ(zero)", "R*", "expected(B)", "measured(B)", "raw(B)", "fp rate"
+    );
+    for sigma in [1_000u32, 2_000, 5_000, 10_000, 20_000, 50_000] {
+        // Build a real signature for `cache_items` items.
+        let mut sig = BloomFilter::new(sigma, k);
+        for item in 0..cache_items {
+            sig.insert(item);
+        }
+        let phi = zero_probability(cache_items, sigma, k);
+        let fp = BloomFilter::false_positive_rate(sigma, k, cache_items);
+        match compression_choice(cache_items, sigma, k) {
+            Some(r) => {
+                let compressed = CompressedSignature::encode(&sig, r);
+                let expected = expected_compressed_bits(cache_items, sigma, k, r) / 8.0;
+                println!(
+                    "{:>9} {:>8.3} {:>6} {:>13.0} {:>13} {:>10} {:>9.5}",
+                    sigma,
+                    phi,
+                    r,
+                    expected,
+                    compressed.wire_bytes(),
+                    sig.wire_bytes(),
+                    fp
+                );
+                // Round-trip sanity: a transmitted signature must decode
+                // to exactly the filter that was sent.
+                assert_eq!(compressed.decode().unwrap(), sig);
+            }
+            None => println!(
+                "{:>9} {:>8.3} {:>6} {:>13} {:>13} {:>10} {:>9.5}",
+                sigma,
+                phi,
+                find_optimal_r(cache_items, sigma, k),
+                "— (send raw)",
+                "—",
+                sig.wire_bytes(),
+                fp
+            ),
+        }
+    }
+
+    println!("\nEffect of filter geometry on the full system (GroCoca, 60 hosts):\n");
+    println!(
+        "{:>9} {:>12} {:>8} {:>10} {:>12}",
+        "σ (bits)", "latency(ms)", "GCH(%)", "bypasses", "sig bytes"
+    );
+    for sigma in [1_000u32, 10_000, 50_000] {
+        let cfg = SimConfig {
+            sigma,
+            num_clients: 60,
+            requests_per_mh: 200,
+            seed: 51,
+            ..SimConfig::for_scheme(Scheme::GroCoca)
+        };
+        let r = Simulation::new(cfg).run().report;
+        println!(
+            "{:>9} {:>12.2} {:>8.1} {:>10} {:>12}",
+            sigma,
+            r.access_latency_ms,
+            r.global_hit_ratio_pct,
+            r.filter_bypasses,
+            r.signature_bytes
+        );
+    }
+    println!(
+        "\nSmall filters are cheap to ship but their false positives defeat\n\
+         the search filter; large filters compress well (VLFL) yet cost\n\
+         more per exchange — σ = 10 000 bits is the sweet spot the\n\
+         defaults use."
+    );
+}

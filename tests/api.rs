@@ -1,0 +1,85 @@
+//! Facade-level API tests: everything a downstream user touches through
+//! the `grococa` umbrella crate.
+
+use grococa::{
+    GroCocaToggles, ItemId, Outcome, Scheme, SimConfig, SimTime, Simulation,
+};
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Types from every layer are reachable and interoperate.
+    let item = ItemId::new(7);
+    let t = SimTime::from_secs(3);
+    let mut cache: grococa::cache::ClientCache<ItemId> = grococa::cache::ClientCache::new(2);
+    cache.insert(item, t, SimTime::MAX);
+    assert!(cache.contains(item));
+
+    let mut filter = grococa::signature::BloomFilter::new(1_000, 2);
+    filter.insert(item.as_u64());
+    assert!(filter.contains(item.as_u64()));
+
+    let model = grococa::power::PowerModel::default();
+    assert!(model.p2p_cost(grococa::power::P2pRole::Sender, 100) > 0.0);
+
+    let zipf = grococa::workload::Zipf::new(10, 0.5);
+    assert_eq!(zipf.len(), 10);
+}
+
+#[test]
+fn full_run_through_the_facade() {
+    let cfg = SimConfig {
+        num_clients: 25,
+        requests_per_mh: 60,
+        seed: 99,
+        ..SimConfig::for_scheme(Scheme::GroCoca)
+    };
+    let out = Simulation::new(cfg).run();
+    assert_eq!(out.report.completed, 25 * 60);
+    assert!(out.report.access_latency_ms >= 0.0);
+    let sum = out.report.local_hit_ratio_pct
+        + out.report.global_hit_ratio_pct
+        + out.report.server_request_ratio_pct;
+    assert!((sum - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn toggles_are_plain_data() {
+    let mut t = GroCocaToggles::default();
+    assert!(t.signature_filter && t.admission_control);
+    t.signature_filter = false;
+    let cfg = SimConfig {
+        toggles: t,
+        num_clients: 10,
+        requests_per_mh: 20,
+        ..SimConfig::for_scheme(Scheme::GroCoca)
+    };
+    let out = Simulation::new(cfg).run();
+    assert_eq!(out.metrics.filter_bypasses, 0);
+}
+
+#[test]
+fn outcome_and_scheme_are_matchable() {
+    // Public enums stay exhaustively matchable for downstream code.
+    for s in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+        match s {
+            Scheme::Conventional => assert!(!s.is_cooperative()),
+            Scheme::Coca | Scheme::GroCoca => assert!(s.is_cooperative()),
+        }
+    }
+    let o = Outcome::Global;
+    assert!(matches!(o, Outcome::Global));
+}
+
+#[test]
+fn reports_are_copy_and_comparable() {
+    let cfg = SimConfig {
+        num_clients: 10,
+        requests_per_mh: 20,
+        ..SimConfig::for_scheme(Scheme::Conventional)
+    };
+    let a = Simulation::new(cfg.clone()).run().report;
+    let b = a; // Copy
+    assert_eq!(a, b);
+    let c = Simulation::new(cfg).run().report;
+    assert_eq!(a, c, "same config, same seed, same report");
+}

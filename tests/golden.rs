@@ -1,0 +1,32 @@
+//! Determinism canary: one pinned configuration whose exact outcome is
+//! recorded here. Any change to protocol logic, RNG consumption order,
+//! event ordering or floating-point evaluation will trip this test —
+//! deliberately. If you *intended* a behavioural change, regenerate the
+//! constants (the test prints the observed values on failure) and note the
+//! change in your commit; if you did not, you found a regression.
+
+use grococa::{Scheme, SimConfig, Simulation};
+
+#[test]
+fn pinned_run_is_bit_stable() {
+    let cfg = SimConfig {
+        num_clients: 30,
+        requests_per_mh: 100,
+        seed: 0x60_1D,
+        ..SimConfig::for_scheme(Scheme::GroCoca)
+    };
+    let out = Simulation::new(cfg).run();
+    let m = &out.metrics;
+    let lat_us = (out.report.access_latency_ms * 1000.0).round() as u64;
+    assert_eq!(
+        (
+            m.local_hits,
+            m.global_hits,
+            m.server_requests,
+            out.events,
+            lat_us,
+        ),
+        (488, 932, 1580, 62_344, 14_015),
+        "pinned GroCoca run diverged — protocol behaviour changed"
+    );
+}

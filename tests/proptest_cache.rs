@@ -1,0 +1,136 @@
+//! Model-based property tests of the client cache: the LRU + TTL cache is
+//! driven by arbitrary operation sequences and compared against a naive
+//! reference model.
+
+use std::collections::BTreeMap;
+
+use grococa::cache::ClientCache;
+use grococa::SimTime;
+use proptest::prelude::*;
+
+/// The reference model: a map of key → (last_access, expiry), evicting by
+/// min (last_access, key).
+#[derive(Debug, Default)]
+struct Model {
+    capacity: usize,
+    entries: BTreeMap<u32, (u64, u64)>,
+}
+
+impl Model {
+    fn lru(&self) -> Option<u32> {
+        self.entries
+            .iter()
+            .min_by_key(|(k, (t, _))| (*t, **k))
+            .map(|(k, _)| *k)
+    }
+
+    fn insert(&mut self, key: u32, now: u64, expiry: u64) -> Option<u32> {
+        if let Some(e) = self.entries.get_mut(&key) {
+            *e = (now, expiry);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let victim = self.lru().expect("full cache has a victim");
+            self.entries.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.entries.insert(key, (now, expiry));
+        evicted
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64),
+    Get(u32),
+    Touch(u32),
+    Remove(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..30, 1u64..1_000).prop_map(|(k, e)| Op::Insert(k, e)),
+        (0u32..30).prop_map(Op::Get),
+        (0u32..30).prop_map(Op::Touch),
+        (0u32..30).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence the cache agrees with the reference
+    /// model on contents, LRU victim order and eviction results.
+    #[test]
+    fn cache_matches_model(capacity in 1usize..12, ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut cache: ClientCache<u32> = ClientCache::new(capacity);
+        let mut model = Model { capacity, ..Model::default() };
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            let now = SimTime::from_secs(clock);
+            match op {
+                Op::Insert(k, e) => {
+                    let expiry = SimTime::from_secs(clock + e);
+                    let evicted = cache.insert(k, now, expiry);
+                    let model_evicted = model.insert(k, clock, clock + e);
+                    prop_assert_eq!(evicted, model_evicted);
+                }
+                Op::Get(k) => {
+                    let hit = cache.get(k, now).is_some();
+                    let model_hit = model.entries.contains_key(&k);
+                    prop_assert_eq!(hit, model_hit);
+                    if model_hit {
+                        model.entries.get_mut(&k).unwrap().0 = clock;
+                    }
+                }
+                Op::Touch(k) => {
+                    let touched = cache.touch(k, now);
+                    prop_assert_eq!(touched, model.entries.contains_key(&k));
+                    if touched {
+                        model.entries.get_mut(&k).unwrap().0 = clock;
+                    }
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(cache.remove(k), model.entries.remove(&k).is_some());
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(cache.len(), model.entries.len());
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.lru_key(), model.lru());
+            for (&k, &(_, exp)) in &model.entries {
+                prop_assert!(cache.contains(k));
+                let entry = cache.peek(k).unwrap();
+                prop_assert_eq!(entry.expires_at, SimTime::from_secs(exp));
+            }
+        }
+    }
+
+    /// `lru_candidates(k)` is always a prefix of the full LRU ordering.
+    #[test]
+    fn candidates_are_ordered_prefix(
+        inserts in proptest::collection::vec((0u32..50, 1u64..100), 1..40),
+        take in 1usize..10,
+    ) {
+        let mut cache: ClientCache<u32> = ClientCache::new(64);
+        for (i, (k, t)) in inserts.iter().enumerate() {
+            cache.insert(*k, SimTime::from_secs(*t), SimTime::MAX);
+            let _ = i;
+        }
+        let all = cache.lru_candidates(cache.len());
+        let some = cache.lru_candidates(take);
+        prop_assert_eq!(&all[..some.len()], &some[..]);
+        // First candidate is the LRU key.
+        prop_assert_eq!(all.first().copied(), cache.lru_key());
+    }
+
+    /// TTL validity is exactly `now < expires_at`.
+    #[test]
+    fn ttl_validity_boundary(expiry in 1u64..1_000, probe in 0u64..2_000) {
+        let mut cache: ClientCache<u32> = ClientCache::new(2);
+        cache.insert(1, SimTime::ZERO, SimTime::from_secs(expiry));
+        let valid = cache.peek(1).unwrap().is_valid(SimTime::from_secs(probe));
+        prop_assert_eq!(valid, probe < expiry);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the statistical substrate and the TCG directory:
+//! Welford vs two-pass, EWMA bounds, Zipf calibration, SimTime algebra,
+//! and the incremental similarity maintenance against the naive formula.
+
+use grococa::core::TcgDirectory;
+use grococa::mobility::Vec2;
+use grococa::sim::{Ewma, SimRng, SimTime, Welford};
+use grococa::workload::Zipf;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford's mean/variance equal the two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &data {
+            w.record(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * (1.0 + var));
+    }
+
+    /// Merging two Welford estimators equals feeding one sequentially.
+    #[test]
+    fn welford_merge_is_concat(
+        a in proptest::collection::vec(-1e3f64..1e3, 0..100),
+        b in proptest::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut wa = Welford::new();
+        let mut wb = Welford::new();
+        let mut seq = Welford::new();
+        for &x in &a { wa.record(x); seq.record(x); }
+        for &x in &b { wb.record(x); seq.record(x); }
+        wa.merge(&wb);
+        prop_assert_eq!(wa.count(), seq.count());
+        prop_assert!((wa.mean() - seq.mean()).abs() < 1e-9);
+        prop_assert!((wa.variance() - seq.variance()).abs() < 1e-7);
+    }
+
+    /// An EWMA stays within the [min, max] hull of its samples.
+    #[test]
+    fn ewma_is_bounded_by_samples(weight in 0.0f64..=1.0, samples in proptest::collection::vec(-1e4f64..1e4, 1..50)) {
+        let mut e = Ewma::new(weight);
+        for &s in &samples {
+            e.record(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = e.value().unwrap();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Zipf probabilities are positive, non-increasing in rank, and sum
+    /// to one.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..400, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for rank in 1..=n {
+            let p = z.probability(rank);
+            prop_assert!(p > 0.0);
+            prop_assert!(p <= prev + 1e-12);
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Zipf samples land in range for any seed.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..100, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+
+    /// SimTime round trips and saturating algebra.
+    #[test]
+    fn simtime_algebra(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        prop_assert_eq!((ta + tb).as_micros(), a + b);
+        prop_assert_eq!(ta.saturating_sub(tb).as_micros(), a.saturating_sub(b));
+        prop_assert_eq!(ta.max(tb).as_micros(), a.max(b));
+        let secs = ta.as_secs_f64();
+        let back = SimTime::from_secs_f64(secs);
+        // f64 has 52 bits of mantissa; round trip is exact for micro
+        // counts below 2^52 and within 1 µs per 2^52 otherwise.
+        let tolerance = (a >> 50).max(1);
+        prop_assert!(back.as_micros().abs_diff(a) <= tolerance);
+    }
+
+    /// The incremental similarity of the TCG directory equals the naive
+    /// O(NData) recomputation after any access sequence, and membership
+    /// stays symmetric.
+    #[test]
+    fn tcg_incremental_equals_naive(accesses in proptest::collection::vec((0usize..4, 0u64..30), 0..150)) {
+        let mut dir = TcgDirectory::new(4, 30, 100.0, 0.3, 0.5);
+        // Pin everyone close so distance never blocks membership churn.
+        for i in 0..4 {
+            dir.record_location(i, Vec2::new(i as f64, 0.0));
+        }
+        for (host, item) in accesses {
+            dir.record_access(host, item);
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    prop_assert!(
+                        (dir.similarity(i, j) - dir.similarity_naive(i, j)).abs() < 1e-9,
+                        "pair ({}, {})", i, j
+                    );
+                    prop_assert_eq!(
+                        dir.members_of(i).contains(&j),
+                        dir.members_of(j).contains(&i),
+                        "membership must stay symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seeded RNG substreams are reproducible and independent of draw
+    /// order.
+    #[test]
+    fn rng_substreams_reproducible(seed in any::<u64>(), stream in 0u64..64) {
+        let mut a = SimRng::substream(seed, stream);
+        let mut b = SimRng::substream(seed, stream);
+        for _ in 0..10 {
+            prop_assert_eq!(a.uniform_u64(1 << 30), b.uniform_u64(1 << 30));
+        }
+    }
+}

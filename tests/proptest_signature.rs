@@ -1,0 +1,149 @@
+//! Property-based tests of the cache-signature substrate: VLFL round
+//! trips over arbitrary bit patterns, counting-filter consistency against
+//! a reference set, and peer-vector consistency against a reference
+//! multiset.
+
+use std::collections::HashMap;
+
+use grococa::signature::{
+    data_positions, BloomFilter, CompressedSignature, CountingFilter, PeerVector,
+};
+use proptest::prelude::*;
+
+fn arb_r() -> impl Strategy<Value = u32> {
+    (1u32..=10).prop_map(|l| (1u32 << l) - 1)
+}
+
+proptest! {
+    /// Compress → decompress is the identity for every bit pattern and
+    /// every legal run-length bound, including patterns ending in long
+    /// zero tails.
+    #[test]
+    fn vlfl_round_trips(bits in proptest::collection::vec(any::<bool>(), 1..600), r in arb_r()) {
+        let sigma = bits.len() as u32;
+        let filter = BloomFilter::from_bits(sigma, 1, &bits);
+        let compressed = CompressedSignature::encode(&filter, r);
+        prop_assert_eq!(compressed.decode().unwrap(), filter);
+    }
+
+    /// The compressed wire size is codewords × log2(R+1) bits, and for the
+    /// all-zero signature it is minimal: ⌈σ/R⌉ codewords.
+    #[test]
+    fn vlfl_all_zero_size(sigma in 1u32..2_000, r in arb_r()) {
+        let filter = BloomFilter::new(sigma, 1);
+        let compressed = CompressedSignature::encode(&filter, r);
+        let expected_words = sigma.div_ceil(r);
+        prop_assert_eq!(compressed.codeword_count() as u32, expected_words);
+    }
+
+    /// A bloom filter never produces false negatives for inserted keys.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 0..200),
+        sigma in 64u32..4_096,
+        k in 1u32..6,
+    ) {
+        let mut filter = BloomFilter::new(sigma, k);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(filter.contains(key));
+        }
+    }
+
+    /// Superimposition equals inserting the union of key sets.
+    #[test]
+    fn superimpose_is_union(
+        a in proptest::collection::hash_set(any::<u64>(), 0..50),
+        b in proptest::collection::hash_set(any::<u64>(), 0..50),
+    ) {
+        let mut fa = BloomFilter::new(512, 2);
+        let mut fb = BloomFilter::new(512, 2);
+        for &key in &a { fa.insert(key); }
+        for &key in &b { fb.insert(key); }
+        fa.superimpose(&fb);
+        let mut union = BloomFilter::new(512, 2);
+        for &key in a.union(&b) { union.insert(key); }
+        prop_assert_eq!(fa, union);
+    }
+
+    /// With wide-enough counters, a counting filter tracks an arbitrary
+    /// insert/remove interleaving exactly: its bloom equals the filter of
+    /// the surviving multiset.
+    #[test]
+    fn counting_filter_matches_reference(ops in proptest::collection::vec((any::<bool>(), 0u64..40), 0..200)) {
+        let mut cf = CountingFilter::new(256, 2, 16);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for (insert, key) in ops {
+            if insert {
+                cf.insert(key);
+                *counts.entry(key).or_insert(0) += 1;
+            } else if counts.get(&key).copied().unwrap_or(0) > 0 {
+                prop_assert!(cf.remove(key).is_ok());
+                *counts.get_mut(&key).unwrap() -= 1;
+            }
+        }
+        let mut reference = BloomFilter::new(256, 2);
+        for (&key, &c) in &counts {
+            if c > 0 {
+                reference.insert(key);
+            }
+        }
+        prop_assert_eq!(cf.to_bloom(), reference);
+    }
+
+    /// A peer vector fed whole signatures equals one fed the equivalent
+    /// per-position update lists, and its width always matches the
+    /// maximum counter value.
+    #[test]
+    fn peer_vector_matches_reference(sig_keys in proptest::collection::vec(
+        proptest::collection::hash_set(0u64..60, 0..20), 0..6)
+    ) {
+        let mut pv = PeerVector::new(300, 2);
+        let mut reference: Vec<u32> = vec![0; 300];
+        for keys in &sig_keys {
+            let mut sig = BloomFilter::new(300, 2);
+            for &key in keys {
+                sig.insert(key);
+            }
+            pv.add_signature(&sig);
+            for (i, bit) in sig.bits().enumerate() {
+                if bit {
+                    reference[i] += 1;
+                }
+            }
+        }
+        for (i, &c) in reference.iter().enumerate() {
+            prop_assert_eq!(pv.bit(i as u32), c > 0);
+        }
+        let max = reference.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(pv.width_bits(), 32 - max.leading_zeros());
+    }
+
+    /// Evicting below zero is silently discarded (conservative filter:
+    /// never a false negative introduced by stale updates).
+    #[test]
+    fn peer_vector_never_underflows(evictions in proptest::collection::vec(0u32..300, 0..100)) {
+        let mut pv = PeerVector::new(300, 2);
+        let mut sig = BloomFilter::new(300, 2);
+        sig.insert(1);
+        pv.add_signature(&sig);
+        pv.apply_update(&[], &evictions);
+        // Width can shrink to zero but bits never wrap around.
+        for i in 0..300 {
+            let _ = pv.bit(i);
+        }
+        prop_assert!(pv.width_bits() <= 1);
+    }
+
+    /// Data positions are deterministic, in range, and have exactly k
+    /// entries.
+    #[test]
+    fn data_positions_well_formed(key in any::<u64>(), sigma in 1u32..10_000, k in 1u32..8) {
+        let p = data_positions(key, sigma, k);
+        prop_assert_eq!(p.len(), k as usize);
+        prop_assert!(p.iter().all(|&x| x < sigma));
+        prop_assert_eq!(p, data_positions(key, sigma, k));
+    }
+}

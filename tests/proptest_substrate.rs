@@ -1,0 +1,192 @@
+//! Property tests of the remaining substrates: mobility models stay in
+//! bounds under arbitrary parameters, the NDP link table matches a naive
+//! reference automaton, facilities obey the FIFO queueing law, and the
+//! push schedule's delivery times are consistent.
+
+use grococa::mobility::{
+    FieldConfig, GaussMarkov, GaussMarkovParams, Manhattan, ManhattanParams, MobilityField,
+    MotionModel, RandomWaypoint, WaypointParams,
+};
+use grococa::net::{LinkEvent, Ndp, NdpConfig, PushSchedule};
+use grococa::sim::{transmission_time, Facility, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random waypoint stays inside any legal area for any seed.
+    #[test]
+    fn waypoint_stays_in_bounds(
+        width in 10.0f64..5_000.0,
+        height in 10.0f64..5_000.0,
+        v_min in 0.1f64..3.0,
+        dv in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let params = WaypointParams {
+            width,
+            height,
+            v_min,
+            v_max: v_min + dv,
+            pause: SimTime::from_secs(1),
+        };
+        let mut rng = SimRng::new(seed);
+        let mut m = RandomWaypoint::new(params, &mut rng);
+        for s in (0..600).step_by(13) {
+            let p = m.position_at(SimTime::from_secs(s));
+            prop_assert!((0.0..=width).contains(&p.x));
+            prop_assert!((0.0..=height).contains(&p.y));
+        }
+    }
+
+    /// Gauss–Markov stays inside the area for any α and speed.
+    #[test]
+    fn gauss_markov_stays_in_bounds(
+        alpha in 0.0f64..=1.0,
+        mean_speed in 0.5f64..20.0,
+        seed in any::<u64>(),
+    ) {
+        let params = GaussMarkovParams {
+            alpha,
+            mean_speed,
+            ..GaussMarkovParams::default()
+        };
+        let mut rng = SimRng::new(seed);
+        let mut m = GaussMarkov::new(params, &mut rng);
+        for s in (0..400).step_by(7) {
+            let p = m.position_at(SimTime::from_secs(s));
+            prop_assert!((0.0..=1_000.0).contains(&p.x));
+            prop_assert!((0.0..=1_000.0).contains(&p.y));
+        }
+    }
+
+    /// Manhattan movers never leave the street grid.
+    #[test]
+    fn manhattan_stays_on_grid(block in 20.0f64..250.0, seed in any::<u64>()) {
+        let params = ManhattanParams {
+            block,
+            ..ManhattanParams::default()
+        };
+        let mut rng = SimRng::new(seed);
+        let mut m = Manhattan::new(params, &mut rng);
+        for s in (0..300).step_by(5) {
+            let p = m.position_at(SimTime::from_secs(s));
+            let on_v = (p.x / block - (p.x / block).round()).abs() < 1e-6;
+            let on_h = (p.y / block - (p.y / block).round()).abs() < 1e-6;
+            prop_assert!(on_v || on_h, "off-street at {p} (block {block})");
+        }
+    }
+
+    /// Field BFS hop counts are consistent: hop-1 nodes are exactly the
+    /// in-range neighbours, and reachability grows monotonically in hops.
+    #[test]
+    fn field_bfs_consistent(n in 2usize..40, range in 50.0f64..400.0, seed in any::<u64>()) {
+        let mut field = MobilityField::new(
+            FieldConfig {
+                model: MotionModel::IndividualWaypoint,
+                group_size: 1,
+                ..FieldConfig::default()
+            },
+            n,
+            seed,
+        );
+        let active = vec![true; n];
+        let t = SimTime::from_secs(30);
+        let direct: std::collections::BTreeSet<usize> =
+            field.neighbors_within(0, range, t, &active).into_iter().collect();
+        let via_bfs: std::collections::BTreeSet<usize> = field
+            .reachable_within_hops(0, range, 1, t, &active)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(&direct, &via_bfs);
+        let two: std::collections::BTreeSet<usize> = field
+            .reachable_within_hops(0, range, 2, t, &active)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(two.is_superset(&direct));
+    }
+
+    /// The NDP automaton matches a per-pair reference state machine under
+    /// arbitrary hearing patterns.
+    #[test]
+    fn ndp_matches_reference(
+        threshold in 1u32..5,
+        rounds in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut ndp = Ndp::new(2, NdpConfig { miss_threshold: threshold });
+        let active = [true, true];
+        let mut ref_linked = false;
+        let mut ref_missed = 0u32;
+        for &hear in &rounds {
+            let events = ndp.beacon_round(|_, _| hear, &active);
+            // Reference automaton.
+            let mut expect = Vec::new();
+            if hear {
+                ref_missed = 0;
+                if !ref_linked {
+                    ref_linked = true;
+                    expect.push(LinkEvent::Up(0, 1));
+                }
+            } else if ref_linked {
+                ref_missed += 1;
+                if ref_missed >= threshold {
+                    ref_linked = false;
+                    ref_missed = 0;
+                    expect.push(LinkEvent::Down(0, 1));
+                }
+            }
+            prop_assert_eq!(events, expect);
+            prop_assert_eq!(ndp.is_linked(0, 1), ref_linked);
+        }
+    }
+
+    /// A FIFO facility obeys the queueing recurrence
+    /// `end_i = max(arrival_i, end_{i-1}) + service_i` for monotone
+    /// arrivals.
+    #[test]
+    fn facility_fifo_law(jobs in proptest::collection::vec((0u64..1_000, 1u64..500), 1..60)) {
+        let mut f = Facility::new("prop");
+        let mut clock = 0u64;
+        let mut prev_end = 0u64;
+        for (gap, service) in jobs {
+            clock += gap;
+            let end = f
+                .enqueue(SimTime::from_micros(clock), SimTime::from_micros(service))
+                .as_micros();
+            let expect = clock.max(prev_end) + service;
+            prop_assert_eq!(end, expect);
+            prev_end = end;
+        }
+    }
+
+    /// Transmission time is monotone in size and inversely so in
+    /// bandwidth, and never zero for non-empty messages.
+    #[test]
+    fn transmission_time_monotone(bytes in 1u64..1_000_000, kbps in 1u64..1_000_000) {
+        let t = transmission_time(bytes, kbps);
+        prop_assert!(t > SimTime::ZERO);
+        prop_assert!(transmission_time(bytes + 1, kbps) >= t);
+        prop_assert!(transmission_time(bytes, kbps + 1) <= t);
+    }
+
+    /// Push-schedule deliveries are after `now`, cyclic with the cycle
+    /// time, and only for scheduled items.
+    #[test]
+    fn push_schedule_delivery_laws(
+        items in proptest::collection::hash_set(0u64..50, 1..20),
+        slot_ms in 1u64..100,
+        now_ms in 0u64..10_000,
+    ) {
+        let items: Vec<u64> = items.into_iter().collect();
+        let sched = PushSchedule::new(items.clone(), SimTime::from_millis(slot_ms));
+        let now = SimTime::from_millis(now_ms);
+        for &key in &items {
+            let d = sched.next_delivery(key, now).expect("scheduled item");
+            prop_assert!(d > now);
+            prop_assert!(d.saturating_sub(now) <= sched.cycle_time() + SimTime::from_millis(slot_ms));
+            let d2 = sched.next_delivery(key, d).expect("cyclic");
+            prop_assert_eq!(d2.saturating_sub(d), sched.cycle_time());
+        }
+        prop_assert_eq!(sched.next_delivery(999, now), None);
+    }
+}
