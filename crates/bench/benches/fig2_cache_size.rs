@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig2_cache_size();
-    eprintln!("\n[fig2_cache_size] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig2_cache_size] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig3_skewness();
-    eprintln!("\n[fig3_skewness] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig3_skewness] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

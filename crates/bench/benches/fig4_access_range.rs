@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig4_access_range();
-    eprintln!("\n[fig4_access_range] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig4_access_range] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig6_update_rate();
-    eprintln!("\n[fig6_update_rate] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig6_update_rate] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

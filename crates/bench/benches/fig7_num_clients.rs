@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig7_num_clients();
-    eprintln!("\n[fig7_num_clients] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig7_num_clients] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

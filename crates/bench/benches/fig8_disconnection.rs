@@ -5,5 +5,9 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let points = grococa_bench::fig8_disconnection();
-    eprintln!("\n[fig8_disconnection] {} points in {:?}", points.len(), t0.elapsed());
+    eprintln!(
+        "\n[fig8_disconnection] {} points in {:?}",
+        points.len(),
+        t0.elapsed()
+    );
 }

@@ -6,8 +6,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use grococa_core::TcgDirectory;
 use grococa_mobility::{FieldConfig, MobilityField, Vec2};
-use grococa_sim::{Scheduler, SimRng, SimTime};
 use grococa_signature::{find_optimal_r, BloomFilter, CompressedSignature, CountingFilter};
+use grococa_sim::{Scheduler, SimRng, SimTime};
 use grococa_workload::Zipf;
 
 fn bench_bloom(c: &mut Criterion) {
@@ -98,13 +98,7 @@ fn bench_mobility(c: &mut Criterion) {
     c.bench_function("mobility/reachable_2hop_n100", |b| {
         b.iter(|| {
             t += 13;
-            field.reachable_within_hops(
-                black_box(5),
-                100.0,
-                2,
-                SimTime::from_millis(t),
-                &active,
-            )
+            field.reachable_within_hops(black_box(5), 100.0, 2, SimTime::from_millis(t), &active)
         })
     });
 }

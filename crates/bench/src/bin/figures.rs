@@ -25,23 +25,38 @@ fn main() -> ExitCode {
         ("fig7", grococa_bench::fig7_num_clients),
         ("fig8", grococa_bench::fig8_disconnection),
     ];
+    let jobs = grococa_par::jobs_from_env();
     for (name, run) in figures {
         if want(name) {
             let t0 = std::time::Instant::now();
+            grococa_bench::take_events(); // reset the counter for this figure
             run();
-            eprintln!("[{name}] finished in {:?}", t0.elapsed());
+            let elapsed = t0.elapsed();
+            let events = grococa_bench::take_events();
+            eprintln!(
+                "[{name}] finished in {:?} — {events} events, {:.0} events/sec, {jobs} job(s)",
+                elapsed,
+                events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+            );
             ran += 1;
         }
     }
     if want("ablations") && !all {
+        let t0 = std::time::Instant::now();
+        grococa_bench::take_events();
         grococa_bench::ablations();
         grococa_bench::threshold_sensitivity();
+        let elapsed = t0.elapsed();
+        let events = grococa_bench::take_events();
+        eprintln!(
+            "[ablations] finished in {:?} — {events} events, {:.0} events/sec",
+            elapsed,
+            events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        );
         ran += 1;
     }
     if ran == 0 {
-        eprintln!(
-            "unknown figure(s) {args:?}; expected fig2..fig8 or ablations"
-        );
+        eprintln!("unknown figure(s) {args:?}; expected fig2..fig8 or ablations");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

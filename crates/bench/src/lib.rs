@@ -7,7 +7,11 @@
 //!
 //! * `GROCOCA_FULL=1` — paper-scale runs (2 000 recorded requests per host
 //!   instead of the quick default of 300);
-//! * `GROCOCA_SEEDS=k` — average every point over `k` seeds (default 1).
+//! * `GROCOCA_SEEDS=k` — average every point over `k` seeds (default 1);
+//! * `GROCOCA_JOBS=n` — run sweep cells on `n` worker threads (default:
+//!   all available cores). Every (x, scheme, seed) cell is an independent
+//!   deterministic run and results are collected in cell order, so the
+//!   output is byte-identical whatever the worker count.
 //!
 //! Each `figN_*` function both prints its table and returns the data, so
 //! the shape assertions in `benches/` and `tests/` can validate trends.
@@ -16,8 +20,29 @@
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use grococa_core::{Report, Scheme, SimConfig, Simulation};
+use grococa_core::{Report, RunOutput, Scheme, SimConfig, Simulation};
+use grococa_sim::derive_seed;
+
+/// Simulation events dispatched since the last [`take_events`] call, summed
+/// across every run started by this crate (sweeps and the one-off
+/// experiments alike). `figures.rs` drains it per figure to print
+/// throughput.
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Drains and returns the event counter accumulated since the last call.
+pub fn take_events() -> u64 {
+    TOTAL_EVENTS.swap(0, Ordering::Relaxed)
+}
+
+/// Runs one configuration, folding its event count into the crate-wide
+/// throughput counter.
+fn run_one(cfg: SimConfig) -> RunOutput {
+    let out = Simulation::new(cfg).run();
+    TOTAL_EVENTS.fetch_add(out.events, Ordering::Relaxed);
+    out
+}
 
 /// The three schemes every figure compares.
 pub const SCHEMES: [Scheme; 3] = [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca];
@@ -92,28 +117,64 @@ fn mean_reports(reports: &[Report]) -> Report {
         power_per_gch_uws,
         power_per_request_uws
     );
-    out.completed = reports.iter().map(|r| r.completed).sum::<u64>() / reports.len() as u64;
+    // Average in f64 and round — integer division would truncate, biasing
+    // the mean low whenever the per-seed counts don't divide evenly.
+    out.completed = (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n).round() as u64;
     out
 }
 
 /// Runs one sweep: for every `x`, runs every scheme (averaged over the
 /// configured seeds) with `configure(scheme, x)` building the point's
-/// configuration.
+/// configuration. Cells run on `GROCOCA_JOBS` worker threads (default: all
+/// cores); see [`run_sweep_with_jobs`] for the determinism guarantee.
 pub fn run_sweep(
     xs: &[f64],
-    configure: impl Fn(Scheme, f64) -> SimConfig,
+    configure: impl Fn(Scheme, f64) -> SimConfig + Sync,
+) -> Vec<SweepPoint> {
+    run_sweep_with_jobs(xs, grococa_par::jobs_from_env(), configure)
+}
+
+/// [`run_sweep`] with an explicit worker count.
+///
+/// Every (x, scheme, seed) cell is one fully independent simulation:
+/// configurations are built up front, fanned out over a self-scheduling
+/// scoped-thread pool, and collected **by cell index**. Only the plain-data
+/// [`SimConfig`] crosses threads — each worker constructs the (`Rc`-based,
+/// non-`Send`) [`Simulation`] locally. The returned points are therefore
+/// byte-identical for any `jobs`, including the inline `jobs == 1` path.
+pub fn run_sweep_with_jobs(
+    xs: &[f64],
+    jobs: usize,
+    configure: impl Fn(Scheme, f64) -> SimConfig + Sync,
 ) -> Vec<SweepPoint> {
     let seeds = seeds_per_point();
+    let mut cells: Vec<SimConfig> = Vec::with_capacity(xs.len() * SCHEMES.len() * seeds as usize);
+    for &x in xs {
+        for scheme in SCHEMES {
+            for s in 0..seeds {
+                let mut cfg = configure(scheme, x);
+                // SplitMix64-mix the seed index so nearby indices yield
+                // decorrelated streams (a plain additive offset lets
+                // substreams of adjacent seeds collide).
+                cfg.seed = derive_seed(cfg.seed, s);
+                cells.push(cfg);
+            }
+        }
+    }
+    let outputs = grococa_par::run_indexed(&cells, jobs, |cfg| Simulation::new(cfg.clone()).run());
+    let events: u64 = outputs.iter().map(|o| o.events).sum();
+    TOTAL_EVENTS.fetch_add(events, Ordering::Relaxed);
+    let per_scheme = seeds as usize;
+    let per_x = SCHEMES.len() * per_scheme;
     xs.iter()
-        .map(|&x| {
+        .enumerate()
+        .map(|(i, &x)| {
             let mut reports = BTreeMap::new();
-            for scheme in SCHEMES {
-                let per_seed: Vec<Report> = (0..seeds)
-                    .map(|s| {
-                        let mut cfg = configure(scheme, x);
-                        cfg.seed = cfg.seed.wrapping_add(s.wrapping_mul(0x9E37_79B9));
-                        Simulation::new(cfg).run().report
-                    })
+            for (k, scheme) in SCHEMES.iter().enumerate() {
+                let start = i * per_x + k * per_scheme;
+                let per_seed: Vec<Report> = outputs[start..start + per_scheme]
+                    .iter()
+                    .map(|o| o.report)
                     .collect();
                 reports.insert(scheme.label(), mean_reports(&per_seed));
             }
@@ -312,10 +373,22 @@ pub fn ablations() -> Vec<AblationRow> {
     type Tweak = Box<dyn Fn(&mut GroCocaToggles)>;
     let variants: Vec<(&'static str, Tweak)> = vec![
         ("full", Box::new(|_| {})),
-        ("no-signature-filter", Box::new(|t| t.signature_filter = false)),
-        ("no-admission-control", Box::new(|t| t.admission_control = false)),
-        ("no-coop-replacement", Box::new(|t| t.cooperative_replacement = false)),
-        ("no-compression", Box::new(|t| t.compress_signatures = false)),
+        (
+            "no-signature-filter",
+            Box::new(|t| t.signature_filter = false),
+        ),
+        (
+            "no-admission-control",
+            Box::new(|t| t.admission_control = false),
+        ),
+        (
+            "no-coop-replacement",
+            Box::new(|t| t.cooperative_replacement = false),
+        ),
+        (
+            "no-compression",
+            Box::new(|t| t.compress_signatures = false),
+        ),
         ("no-piggyback", Box::new(|t| t.piggyback_updates = false)),
     ];
     let mut rows = Vec::new();
@@ -327,7 +400,7 @@ pub fn ablations() -> Vec<AblationRow> {
     for (name, tweak) in variants {
         let mut cfg = base_config(Scheme::GroCoca);
         tweak(&mut cfg.toggles);
-        let report = Simulation::new(cfg).run().report;
+        let report = run_one(cfg).report;
         println!(
             "{:<24} {:>10.2} {:>8.2} {:>8.2} {:>12.0} {:>10}",
             name,
@@ -337,7 +410,10 @@ pub fn ablations() -> Vec<AblationRow> {
             report.power_per_gch_uws,
             report.signature_messages
         );
-        rows.push(AblationRow { variant: name, report });
+        rows.push(AblationRow {
+            variant: name,
+            report,
+        });
     }
     rows
 }
@@ -365,7 +441,7 @@ pub fn hybrid_delivery() -> Vec<(usize, Scheme, Report)> {
                     max_wait_secs: 3.0,
                 };
             }
-            let report = Simulation::new(cfg).run().report;
+            let report = run_one(cfg).report;
             println!(
                 "{:<12} {:<8} {:>12.2} {:>8.1} {:>8.1} {:>8.1} {:>12.0}",
                 slots,
@@ -388,10 +464,7 @@ pub fn policy_comparison() -> Vec<(Scheme, &'static str, Report)> {
     use grococa_core::ReplacementPolicy;
     let mut rows = Vec::new();
     println!("\n## Replacement policies — latency (ms) / GCH (%) per scheme");
-    println!(
-        "{:<8} {:>14} {:>14} {:>14}",
-        "scheme", "LRU", "LFU", "FIFO"
-    );
+    println!("{:<8} {:>14} {:>14} {:>14}", "scheme", "LRU", "LFU", "FIFO");
     for scheme in [Scheme::Coca, Scheme::GroCoca] {
         let mut cells = Vec::new();
         for (name, policy) in [
@@ -401,7 +474,7 @@ pub fn policy_comparison() -> Vec<(Scheme, &'static str, Report)> {
         ] {
             let mut cfg = base_config(scheme);
             cfg.cache_policy = policy;
-            let report = Simulation::new(cfg).run().report;
+            let report = run_one(cfg).report;
             cells.push(format!(
                 "{:.1}/{:.1}",
                 report.access_latency_ms, report.global_hit_ratio_pct
@@ -438,7 +511,7 @@ pub fn mobility_models() -> Vec<(&'static str, Scheme, Report)> {
         for scheme in [Scheme::Coca, Scheme::GroCoca] {
             let mut cfg = base_config(scheme);
             cfg.motion_model = model;
-            let report = Simulation::new(cfg).run().report;
+            let report = run_one(cfg).report;
             cells.push(format!(
                 "{:.1}/{:.1}",
                 report.access_latency_ms, report.global_hit_ratio_pct
@@ -468,7 +541,7 @@ pub fn low_activity() -> Vec<(f64, bool, Report)> {
             cfg.low_activity_fraction = fraction;
             cfg.low_activity_slowdown = 10.0;
             cfg.delegate_singlets = delegate;
-            let out = Simulation::new(cfg).run();
+            let out = run_one(cfg);
             cells.push(format!(
                 "{:.1}/{:.1}",
                 out.report.global_hit_ratio_pct, out.report.access_latency_ms
@@ -547,5 +620,46 @@ mod tests {
         b.access_latency_ms = 20.0;
         let m = mean_reports(&[a, b]);
         assert!((m.access_latency_ms - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_reports_rounds_completed_instead_of_truncating() {
+        let base = Simulation::new(SimConfig {
+            num_clients: 10,
+            requests_per_mh: 20,
+            ..SimConfig::for_scheme(Scheme::Conventional)
+        })
+        .run()
+        .report;
+        // An odd seed count whose completion total does not divide evenly:
+        // (1 + 2 + 2) / 3 = 5/3 ≈ 1.67 must round to 2, where the old
+        // integer division truncated to 1.
+        let mut a = base;
+        let mut b = base;
+        let mut c = base;
+        a.completed = 1;
+        b.completed = 2;
+        c.completed = 2;
+        assert_eq!(mean_reports(&[a, b, c]).completed, 2);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        // A fig2-shaped sweep at quick scale: identical cell grids must
+        // yield byte-identical reports whether run inline or on 4 workers.
+        let configure = |scheme: Scheme, x: f64| SimConfig {
+            cache_size: x as usize,
+            num_clients: 20,
+            requests_per_mh: 40,
+            ..SimConfig::for_scheme(scheme)
+        };
+        let xs = [50.0, 100.0];
+        let serial = run_sweep_with_jobs(&xs, 1, configure);
+        let parallel = run_sweep_with_jobs(&xs, 4, configure);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.x, p.x);
+            assert_eq!(s.reports, p.reports, "x = {}", s.x);
+        }
     }
 }

@@ -200,7 +200,11 @@ impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
             e.singlet_ttl = self.default_singlet_ttl;
             return None;
         }
-        let evicted = if self.is_full() { self.pop_victim() } else { None };
+        let evicted = if self.is_full() {
+            self.pop_victim()
+        } else {
+            None
+        };
         self.entries.insert(
             key,
             Entry {
@@ -275,11 +279,11 @@ impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
     fn victim_order(&self, a: (&K, &Entry), b: (&K, &Entry)) -> std::cmp::Ordering {
         let by_value = match self.policy {
             ReplacementPolicy::Lru => a.1.last_access.cmp(&b.1.last_access),
-            ReplacementPolicy::Lfu => a
-                .1
-                .access_count
-                .cmp(&b.1.access_count)
-                .then(a.1.last_access.cmp(&b.1.last_access)),
+            ReplacementPolicy::Lfu => {
+                a.1.access_count
+                    .cmp(&b.1.access_count)
+                    .then(a.1.last_access.cmp(&b.1.last_access))
+            }
             ReplacementPolicy::Fifo => a.1.inserted_at.cmp(&b.1.inserted_at),
         };
         by_value.then_with(|| a.0.cmp(b.0))
@@ -477,7 +481,11 @@ mod tests {
 
     #[test]
     fn policies_share_candidate_interface() {
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Lfu, ReplacementPolicy::Fifo] {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Lfu,
+            ReplacementPolicy::Fifo,
+        ] {
             let mut c: ClientCache<u32> = ClientCache::with_policy(3, policy);
             c.insert(1, t(1), SimTime::MAX);
             c.insert(2, t(2), SimTime::MAX);

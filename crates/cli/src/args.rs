@@ -250,7 +250,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
             }
         }
         "help" | "--help" | "-h" => Command::Help,
-        other => return Err(err(format!("unknown command {other:?} (see `grococa help`)"))),
+        other => {
+            return Err(err(format!(
+                "unknown command {other:?} (see `grococa help`)"
+            )))
+        }
     };
     Ok(Cli { command, csv })
 }
@@ -323,7 +327,10 @@ mod tests {
             Command::Run(cfg) => {
                 assert!(matches!(
                     cfg.delivery,
-                    DataDelivery::Hybrid { push_slots: 500, .. }
+                    DataDelivery::Hybrid {
+                        push_slots: 500,
+                        ..
+                    }
                 ));
             }
             other => panic!("wrong command {other:?}"),

@@ -108,9 +108,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_values_times_schemes_rows() {
-        let out = run(
-            "sweep --param theta --values 0.2,0.8 --clients 10 --requests 15 --csv",
-        );
+        let out = run("sweep --param theta --values 0.2,0.8 --clients 10 --requests 15 --csv");
         assert_eq!(out.lines().count(), 1 + 2 * 3);
         assert!(out.contains("COCA,0.2,"));
         assert!(out.contains("GC,0.8,"));

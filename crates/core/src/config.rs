@@ -324,8 +324,7 @@ impl SimConfig {
     /// `HopDist · (|request| + |reply|) / BW_P2P · φ`.
     pub fn initial_timeout(&self) -> SimTime {
         let bytes = self.msg.p2p_request + self.msg.p2p_reply;
-        let secs =
-            self.hop_dist as f64 * (bytes * 8) as f64 / (self.p2p_kbps as f64 * 1_000.0);
+        let secs = self.hop_dist as f64 * (bytes * 8) as f64 / (self.p2p_kbps as f64 * 1_000.0);
         SimTime::from_secs_f64(secs * self.phi_initial)
     }
 
@@ -365,9 +364,15 @@ impl SimConfig {
             self.low_activity_slowdown >= 1.0,
             "low-activity slowdown must be at least 1"
         );
-        assert!(self.sigma > 0 && self.bloom_k > 0, "bloom geometry must be positive");
+        assert!(
+            self.sigma > 0 && self.bloom_k > 0,
+            "bloom geometry must be positive"
+        );
         assert!(self.requests_per_mh > 0, "must record at least one request");
-        assert!(self.replace_candidate > 0, "need at least one replacement candidate");
+        assert!(
+            self.replace_candidate > 0,
+            "need at least one replacement candidate"
+        );
         if let DataDelivery::Hybrid {
             push_slots,
             push_kbps,
@@ -377,10 +382,16 @@ impl SimConfig {
         {
             assert!(push_slots > 0, "a hybrid channel must carry items");
             assert!(push_kbps > 0, "broadcast bandwidth must be positive");
-            assert!(refresh_secs > 0.0, "schedule refresh period must be positive");
+            assert!(
+                refresh_secs > 0.0,
+                "schedule refresh period must be positive"
+            );
             assert!(max_wait_secs >= 0.0, "push patience cannot be negative");
         }
-        assert!(self.speed.0 > 0.0 && self.speed.1 >= self.speed.0, "bad speed range");
+        assert!(
+            self.speed.0 > 0.0 && self.speed.1 >= self.speed.0,
+            "bad speed range"
+        );
         assert!(
             self.disc_time.1 >= self.disc_time.0 && self.disc_time.0 >= 0.0,
             "bad disconnection time range"

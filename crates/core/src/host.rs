@@ -3,8 +3,8 @@
 use std::collections::BTreeSet;
 
 use grococa_cache::{ClientCache, ReplacementPolicy};
-use grococa_sim::{EventId, SimTime, Welford};
 use grococa_signature::{CountingFilter, PeerVector};
+use grococa_sim::{EventId, SimTime, Welford};
 use grococa_workload::ItemId;
 
 /// Which stage an outstanding client request is in.
@@ -172,8 +172,12 @@ impl Host {
     /// Takes the accumulated piggyback lists, leaving them empty.
     pub fn take_update_lists(&mut self) -> (Vec<u32>, Vec<u32>) {
         (
-            std::mem::take(&mut self.pending_insert).into_iter().collect(),
-            std::mem::take(&mut self.pending_evict).into_iter().collect(),
+            std::mem::take(&mut self.pending_insert)
+                .into_iter()
+                .collect(),
+            std::mem::take(&mut self.pending_evict)
+                .into_iter()
+                .collect(),
         )
     }
 }

@@ -12,15 +12,15 @@ use std::rc::Rc;
 use grococa_mobility::{FieldConfig, MobilityField};
 use grococa_net::{Ndp, NdpConfig, P2pChannel, PushSchedule, ServerChannel};
 use grococa_power::{BroadcastRole, P2pRole};
-use grococa_sim::{transmission_time, Scheduler, SimRng, SimTime};
 use grococa_signature::{compression_choice, data_positions, BloomFilter, CompressedSignature};
+use grococa_sim::{transmission_time, Scheduler, SimRng, SimTime};
 use grococa_workload::{AccessPattern, ItemId, ServerDb};
 
 use crate::config::{DataDelivery, Scheme, SimConfig};
 use crate::host::{Host, Pending, Phase};
 use crate::metrics::{Metrics, Outcome, Report};
-use crate::trace::{TraceKind, Tracer};
 use crate::tcg::{MembershipChange, TcgDirectory};
+use crate::trace::{TraceKind, Tracer};
 
 /// Simulation events. Each carries the minimum identifying state; handlers
 /// re-validate against the current world (generation numbers, connectivity)
@@ -38,7 +38,11 @@ enum Ev {
         updates: Option<Rc<(Vec<u32>, Vec<u32>)>>,
     },
     /// A peer's "I have it" reply reaches the requester.
-    Reply { requester: usize, gen: u64, from: usize },
+    Reply {
+        requester: usize,
+        gen: u64,
+        from: usize,
+    },
     /// The requester's retrieve reaches the chosen target peer.
     Retrieve { requester: usize, gen: u64 },
     /// The target peer's data message reaches the requester.
@@ -53,12 +57,15 @@ enum Ev {
     /// A request reaches the MSS over the uplink.
     ServerRequest { mh: usize, gen: u64 },
     /// The MSS's data message reaches the host over the downlink.
+    ///
+    /// The membership-change list rides behind `Rc` (as signature payloads
+    /// already do) so cloning the event on dispatch never copies the list.
     ServerData {
         mh: usize,
         gen: u64,
         expiry: SimTime,
         t_r: SimTime,
-        changes: Vec<MembershipChange>,
+        changes: Rc<Vec<MembershipChange>>,
     },
     /// A TTL validation request reaches the MSS.
     ValidationRequest { mh: usize, gen: u64 },
@@ -68,7 +75,7 @@ enum Ev {
         gen: u64,
         expiry: SimTime,
         t_r: SimTime,
-        changes: Vec<MembershipChange>,
+        changes: Rc<Vec<MembershipChange>>,
     },
     /// A `SigRequest` reaches a host. `members` is present on broadcast
     /// recollection requests and lists who must answer.
@@ -88,14 +95,17 @@ enum Ev {
     /// A reconnection membership sync reaches the MSS.
     ReconnectSync { mh: usize },
     /// The MSS's full-membership answer reaches the host.
-    ReconnectSyncDone { mh: usize, members: Vec<usize> },
+    ReconnectSyncDone { mh: usize, members: Rc<Vec<usize>> },
     /// An explicit location/access update timer (τ_P) fired at a host.
     ExplicitUpdate { mh: usize },
     /// The explicit update reaches the MSS; `sample` is the ρ_P portion of
     /// the peer-retrieved access history.
-    ExplicitUpdateAtMss { mh: usize, sample: Vec<ItemId> },
+    ExplicitUpdateAtMss { mh: usize, sample: Rc<Vec<ItemId>> },
     /// The MSS's membership-change answer to an explicit update arrives.
-    MembershipNews { mh: usize, changes: Vec<MembershipChange> },
+    MembershipNews {
+        mh: usize,
+        changes: Rc<Vec<MembershipChange>>,
+    },
     /// The server-side Poisson update process ticks.
     DbUpdate,
     /// The MSS's periodic stale-interval aging pass.
@@ -107,7 +117,11 @@ enum Ev {
     BeaconTick,
     /// A delegated singlet item arrives at a low-activity TCG member
     /// (cache-delegation extension).
-    Delegated { to: usize, item: ItemId, expiry: SimTime },
+    Delegated {
+        to: usize,
+        item: ItemId,
+        expiry: SimTime,
+    },
     /// The MSS recomputes the push broadcast program (hybrid delivery).
     RefreshPushSchedule,
     /// The push channel finishes broadcasting the item a host tuned in
@@ -130,6 +144,11 @@ pub struct RunOutput {
     pub events: u64,
     /// Downlink utilisation over the recorded window.
     pub downlink_utilisation: f64,
+    /// Events dispatched per wall-clock second — the simulator's raw
+    /// throughput for this run.
+    pub events_per_sec: f64,
+    /// High-water mark of the scheduler's pending-event queue.
+    pub peak_heap_depth: usize,
 }
 
 /// One configured simulation instance.
@@ -197,8 +216,13 @@ impl Simulation {
         );
         let groups = (0..n).map(|i| field.group_of(i)).max().unwrap_or(0) + 1;
         let mut rng_pattern = SimRng::substream(cfg.seed, 2);
-        let pattern =
-            AccessPattern::new(cfg.n_data, cfg.access_range, cfg.theta, groups, &mut rng_pattern);
+        let pattern = AccessPattern::new(
+            cfg.n_data,
+            cfg.access_range,
+            cfg.theta,
+            groups,
+            &mut rng_pattern,
+        );
         let hosts = (0..n)
             .map(|i| {
                 Host::new(
@@ -213,7 +237,13 @@ impl Simulation {
             })
             .collect();
         let dir = (cfg.scheme == Scheme::GroCoca).then(|| {
-            TcgDirectory::new(n, cfg.n_data, cfg.tcg_distance, cfg.tcg_similarity, cfg.omega)
+            TcgDirectory::new(
+                n,
+                cfg.n_data,
+                cfg.tcg_distance,
+                cfg.tcg_similarity,
+                cfg.omega,
+            )
         });
         Simulation {
             field,
@@ -304,6 +334,7 @@ impl Simulation {
     /// Runs the simulation like [`Simulation::run`] but returns the whole
     /// world alongside the output, for post-mortem inspection.
     pub fn run_inspect(mut self) -> (RunOutput, Simulation) {
+        let started = std::time::Instant::now();
         let mut sched: Scheduler<Ev> = Scheduler::new();
         self.bootstrap(&mut sched);
         while let Some((_, ev)) = sched.pop() {
@@ -312,6 +343,7 @@ impl Simulation {
                 break;
             }
         }
+        let elapsed = started.elapsed().as_secs_f64();
         let finished_at = sched.now();
         self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
         let out = RunOutput {
@@ -322,6 +354,12 @@ impl Simulation {
             downlink_utilisation: self
                 .server
                 .downlink_utilisation(finished_at.max(SimTime::from_micros(1))),
+            events_per_sec: if elapsed > 0.0 {
+                sched.events_fired() as f64 / elapsed
+            } else {
+                0.0
+            },
+            peak_heap_depth: sched.peak_depth(),
             metrics: self.metrics.clone(),
         };
         (out, self)
@@ -385,7 +423,11 @@ impl Simulation {
                 item,
                 updates,
             } => self.on_peer_request(sched, requester, gen, peer, item, updates),
-            Ev::Reply { requester, gen, from } => self.on_reply(sched, requester, gen, from),
+            Ev::Reply {
+                requester,
+                gen,
+                from,
+            } => self.on_reply(sched, requester, gen, from),
             Ev::Retrieve { requester, gen } => self.on_retrieve(sched, requester, gen),
             Ev::PeerData {
                 requester,
@@ -421,7 +463,7 @@ impl Simulation {
             Ev::ExplicitUpdateAtMss { mh, sample } => {
                 self.on_explicit_update_at_mss(sched, mh, sample)
             }
-            Ev::MembershipNews { mh, changes } => self.apply_membership(sched, mh, changes),
+            Ev::MembershipNews { mh, changes } => self.apply_membership(sched, mh, &changes),
             Ev::DbUpdate => self.on_db_update(sched),
             Ev::AgeIntervals => self.on_age_intervals(sched),
             Ev::WarmupCap => self.begin_recording(sched.now()),
@@ -475,9 +517,7 @@ impl Simulation {
                 if self.warm {
                     self.metrics.validations += 1;
                 }
-                let arr = self
-                    .server
-                    .request_arrival(now, self.cfg.msg.validation);
+                let arr = self.server.request_arrival(now, self.cfg.msg.validation);
                 self.hosts[mh].last_server_contact = now;
                 self.trace(now, mh, TraceKind::ValidationStarted);
                 sched.schedule_at(arr, Ev::ValidationRequest { mh, gen });
@@ -502,7 +542,13 @@ impl Simulation {
 
     /// Hybrid delivery: if `item` is on the broadcast program and its next
     /// slot completes within the configured patience, wait for it.
-    fn try_tune_in(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64, item: ItemId) -> bool {
+    fn try_tune_in(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+        item: ItemId,
+    ) -> bool {
         let DataDelivery::Hybrid { max_wait_secs, .. } = self.cfg.delivery else {
             return false;
         };
@@ -548,9 +594,14 @@ impl Simulation {
         else {
             return;
         };
-        sched.schedule_after(SimTime::from_secs_f64(refresh_secs), Ev::RefreshPushSchedule);
+        sched.schedule_after(
+            SimTime::from_secs_f64(refresh_secs),
+            Ev::RefreshPushSchedule,
+        );
         let mut ranked: Vec<u64> = (0..self.popularity.len() as u64).collect();
-        ranked.sort_by_key(|&i| std::cmp::Reverse((self.popularity[i as usize], std::cmp::Reverse(i))));
+        ranked.sort_by_key(|&i| {
+            std::cmp::Reverse((self.popularity[i as usize], std::cmp::Reverse(i)))
+        });
         let hot: Vec<u64> = ranked
             .into_iter()
             .take(push_slots)
@@ -670,10 +721,8 @@ impl Simulation {
         if stats.count() == 0 {
             baseline
         } else {
-            SimTime::from_secs_f64(
-                stats.mean() + self.cfg.phi_deviation * stats.stddev(),
-            )
-            .max(baseline)
+            SimTime::from_secs_f64(stats.mean() + self.cfg.phi_deviation * stats.stddev())
+                .max(baseline)
         }
     }
 
@@ -701,7 +750,14 @@ impl Simulation {
         if self.hosts[peer].has_valid(item, now) {
             let done = self.p2p.send(peer, now, self.cfg.msg.p2p_reply);
             self.charge_p2p(peer, requester, self.cfg.msg.p2p_reply, now);
-            sched.schedule_at(done, Ev::Reply { requester, gen, from: peer });
+            sched.schedule_at(
+                done,
+                Ev::Reply {
+                    requester,
+                    gen,
+                    from: peer,
+                },
+            );
         }
     }
 
@@ -714,7 +770,10 @@ impl Simulation {
         let p = host.pending.as_mut().expect("guard passed");
         let observed = now.saturating_sub(p.broadcast_at);
         host.search_stats.record(observed.as_secs_f64());
-        let p = self.hosts[requester].pending.as_mut().expect("guard passed");
+        let p = self.hosts[requester]
+            .pending
+            .as_mut()
+            .expect("guard passed");
         if let Some(id) = p.timeout.take() {
             sched.cancel(id);
         }
@@ -732,7 +791,10 @@ impl Simulation {
         }
         let now = sched.now();
         let (item, target) = {
-            let p = self.hosts[requester].pending.as_ref().expect("guard passed");
+            let p = self.hosts[requester]
+                .pending
+                .as_ref()
+                .expect("guard passed");
             (p.item, p.target.expect("retrieving implies a target"))
         };
         if !self.hosts[target].connected || !self.hosts[target].has_valid(item, now) {
@@ -783,8 +845,13 @@ impl Simulation {
         if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
             return;
         }
-        let item = self.hosts[requester].pending.as_ref().expect("guard passed").item;
-        let from_tcg = self.cfg.scheme == Scheme::GroCoca && self.hosts[requester].tcg.contains(&from);
+        let item = self.hosts[requester]
+            .pending
+            .as_ref()
+            .expect("guard passed")
+            .item;
+        let from_tcg =
+            self.cfg.scheme == Scheme::GroCoca && self.hosts[requester].tcg.contains(&from);
         self.admit_item(sched, requester, item, expiry, Some((from, from_tcg)));
         if self.cfg.scheme == Scheme::GroCoca {
             self.hosts[requester].peer_retrieved_log.push(item);
@@ -807,12 +874,16 @@ impl Simulation {
     fn enter_server_phase(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
         let now = sched.now();
         let host = &mut self.hosts[mh];
-        let Some(p) = host.pending_mut(gen) else { return };
+        let Some(p) = host.pending_mut(gen) else {
+            return;
+        };
         p.phase = Phase::Server;
         p.timeout = None;
         host.last_server_contact = now;
         self.trace(now, mh, TraceKind::ServerContacted);
-        let arr = self.server.request_arrival(now, self.cfg.msg.server_request);
+        let arr = self
+            .server
+            .request_arrival(now, self.cfg.msg.server_request);
         sched.schedule_at(arr, Ev::ServerRequest { mh, gen });
     }
 
@@ -825,8 +896,8 @@ impl Simulation {
         self.popularity[item.index()] += 1;
         let changes = self.mss_observe(mh, Some(item), now);
         let expiry = self.db.expiry_for(item, now);
-        let bytes = self.cfg.msg.data_message()
-            + self.cfg.msg.per_list_entry * changes.len() as u64;
+        let bytes =
+            self.cfg.msg.data_message() + self.cfg.msg.per_list_entry * changes.len() as u64;
         let arr = self.server.response_arrival(now, bytes);
         sched.schedule_at(
             arr,
@@ -835,7 +906,7 @@ impl Simulation {
                 gen,
                 expiry,
                 t_r: now,
-                changes,
+                changes: Rc::new(changes),
             },
         );
     }
@@ -847,14 +918,14 @@ impl Simulation {
         gen: u64,
         expiry: SimTime,
         t_r: SimTime,
-        changes: Vec<MembershipChange>,
+        changes: Rc<Vec<MembershipChange>>,
     ) {
         let matches_server = self.hosts[mh].pending_matches(gen, Phase::Server)
             || self.hosts[mh].pending_matches(gen, Phase::Validating);
         if !matches_server {
             return;
         }
-        self.apply_membership(sched, mh, changes);
+        self.apply_membership(sched, mh, &changes);
         let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
         self.admit_item(sched, mh, item, expiry, None);
         // Record the true retrieve time for future validations.
@@ -877,15 +948,15 @@ impl Simulation {
             (p.item, p.validating_t_r)
         };
         self.popularity[item.index()] += 1;
-        let changes = self.mss_observe(mh, Some(item), now);
+        let changes = Rc::new(self.mss_observe(mh, Some(item), now));
         let expiry = self.db.expiry_for(item, now);
         if self.db.modified_since(item, t_r) {
             // Fresh copy required: full data message downlink.
             if self.warm {
                 self.metrics.validation_refreshes += 1;
             }
-            let bytes = self.cfg.msg.data_message()
-                + self.cfg.msg.per_list_entry * changes.len() as u64;
+            let bytes =
+                self.cfg.msg.data_message() + self.cfg.msg.per_list_entry * changes.len() as u64;
             let arr = self.server.response_arrival(now, bytes);
             sched.schedule_at(
                 arr,
@@ -921,12 +992,12 @@ impl Simulation {
         gen: u64,
         expiry: SimTime,
         t_r: SimTime,
-        changes: Vec<MembershipChange>,
+        changes: Rc<Vec<MembershipChange>>,
     ) {
         if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
             return;
         }
-        self.apply_membership(sched, mh, changes);
+        self.apply_membership(sched, mh, &changes);
         let now = sched.now();
         let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
         let host = &mut self.hosts[mh];
@@ -1039,7 +1110,9 @@ impl Simulation {
     fn maybe_delegate(&mut self, sched: &mut Scheduler<Ev>, mh: usize, victim: ItemId) {
         let now = sched.now();
         let host = &self.hosts[mh];
-        let Some(entry) = host.cache.peek(victim) else { return };
+        let Some(entry) = host.cache.peek(victim) else {
+            return;
+        };
         if !entry.is_valid(now) {
             return;
         }
@@ -1061,9 +1134,7 @@ impl Simulation {
         let mut best: Option<(usize, f64)> = None;
         for p in candidates {
             let d = self.field.distance_at(mh, p, now);
-            if d <= self.cfg.tran_range
-                && best.is_none_or(|(_, bd)| d < bd)
-            {
+            if d <= self.cfg.tran_range && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((p, d));
             }
         }
@@ -1122,7 +1193,10 @@ impl Simulation {
 
     fn complete(&mut self, sched: &mut Scheduler<Ev>, mh: usize, outcome: Outcome, from_tcg: bool) {
         let now = sched.now();
-        let p = self.hosts[mh].pending.take().expect("completing a live request");
+        let p = self.hosts[mh]
+            .pending
+            .take()
+            .expect("completing a live request");
         if p.recorded && self.warm {
             let latency = now.saturating_sub(p.issued_at);
             self.metrics.record_completion(outcome, latency, from_tcg);
@@ -1133,8 +1207,7 @@ impl Simulation {
             self.hosts[mh].connected = false;
             self.active[mh] = false;
             self.trace(now, mh, TraceKind::Disconnected);
-            let dur = self.host_rngs[mh]
-                .uniform_f64(self.cfg.disc_time.0, self.cfg.disc_time.1);
+            let dur = self.host_rngs[mh].uniform_f64(self.cfg.disc_time.0, self.cfg.disc_time.1);
             sched.schedule_after(SimTime::from_secs_f64(dur), Ev::Reconnect { mh });
         } else {
             let mean = self.mean_think(mh);
@@ -1155,7 +1228,9 @@ impl Simulation {
             sched.schedule_at(arr, Ev::ReconnectSync { mh });
             // Peers holding this host in their OutstandSigList detect the
             // reconnection beacon and ask for the fresh signature.
-            let in_range = self.field.neighbors_within(mh, self.cfg.tran_range, now, &self.active);
+            let in_range = self
+                .field
+                .neighbors_within(mh, self.cfg.tran_range, now, &self.active);
             for p in in_range {
                 if self.hosts[p].outstand_sig.contains(&mh) {
                     self.send_sig_request(sched, p, mh, None);
@@ -1174,17 +1249,22 @@ impl Simulation {
         let dir = self.dir.as_mut().expect("sync only under GroCoca");
         let members: Vec<usize> = dir.members_of(mh).iter().copied().collect();
         let _ = dir.drain_changes(mh); // the full set supersedes deltas
-        let bytes =
-            self.cfg.msg.validation + self.cfg.msg.per_list_entry * members.len() as u64;
+        let bytes = self.cfg.msg.validation + self.cfg.msg.per_list_entry * members.len() as u64;
         let arr = self.server.response_arrival(now, bytes);
-        sched.schedule_at(arr, Ev::ReconnectSyncDone { mh, members });
+        sched.schedule_at(
+            arr,
+            Ev::ReconnectSyncDone {
+                mh,
+                members: Rc::new(members),
+            },
+        );
     }
 
     fn on_reconnect_sync_done(
         &mut self,
         sched: &mut Scheduler<Ev>,
         mh: usize,
-        members: Vec<usize>,
+        members: Rc<Vec<usize>>,
     ) {
         let host = &mut self.hosts[mh];
         host.tcg = members.iter().copied().collect();
@@ -1202,7 +1282,12 @@ impl Simulation {
 
     /// The MSS folds a contact from `mh` into the TCG directory and returns
     /// the membership changes to announce (empty for non-GroCoca schemes).
-    fn mss_observe(&mut self, mh: usize, item: Option<ItemId>, now: SimTime) -> Vec<MembershipChange> {
+    fn mss_observe(
+        &mut self,
+        mh: usize,
+        item: Option<ItemId>,
+        now: SimTime,
+    ) -> Vec<MembershipChange> {
         let Some(dir) = self.dir.as_mut() else {
             return Vec::new();
         };
@@ -1218,13 +1303,13 @@ impl Simulation {
         &mut self,
         sched: &mut Scheduler<Ev>,
         mh: usize,
-        changes: Vec<MembershipChange>,
+        changes: &[MembershipChange],
     ) {
         if changes.is_empty() {
             return;
         }
         let mut departed = false;
-        for change in changes {
+        for &change in changes {
             match change {
                 MembershipChange::Added(p) => {
                     if self.hosts[mh].tcg.insert(p) {
@@ -1247,16 +1332,14 @@ impl Simulation {
         // A departure invalidates the superimposed vector: reset and
         // recollect from the remaining members (batched by the threshold in
         // extremely dynamic networks).
-        if departed
-            && self.hosts[mh].departed_since_recollect >= self.cfg.recollect_threshold
-        {
+        if departed && self.hosts[mh].departed_since_recollect >= self.cfg.recollect_threshold {
             let host = &mut self.hosts[mh];
             host.departed_since_recollect = 0;
             host.peer_vector.reset();
             let members: Vec<usize> = host.tcg.iter().copied().collect();
             host.outstand_sig = host.tcg.clone();
             if !members.is_empty() {
-                self.broadcast_sig_request(sched, mh, members);
+                self.broadcast_sig_request(sched, mh, Rc::new(members));
             }
         }
     }
@@ -1280,8 +1363,14 @@ impl Simulation {
     }
 
     /// Broadcast `SigRequest` carrying the membership list; each listed
-    /// member in reach replies with its full cache signature.
-    fn broadcast_sig_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, members: Vec<usize>) {
+    /// member in reach replies with its full cache signature. The list is
+    /// already shared (`Rc`) by the caller, so fan-out is copy-free.
+    fn broadcast_sig_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        members: Rc<Vec<usize>>,
+    ) {
         let now = sched.now();
         let bytes = self.cfg.msg.sig_request_with_members(members.len());
         let done = self.p2p.send(mh, now, bytes);
@@ -1290,7 +1379,6 @@ impl Simulation {
         if self.warm {
             self.metrics.signature_messages += 1;
         }
-        let members = Rc::new(members);
         for &(peer, hop) in &reached {
             let at = self.p2p.broadcast_delivery(done, bytes, hop);
             sched.schedule_at(
@@ -1325,8 +1413,7 @@ impl Simulation {
         // cache capacity ε, the filter size σ and the hash count k).
         let payload = if self.cfg.scheme == Scheme::GroCoca && self.cfg.toggles.compress_signatures
         {
-            match compression_choice(self.cfg.cache_size as u64, self.cfg.sigma, self.cfg.bloom_k)
-            {
+            match compression_choice(self.cfg.cache_size as u64, self.cfg.sigma, self.cfg.bloom_k) {
                 Some(r) => CompressedSignature::encode(&sig, r).wire_bytes(),
                 None => sig.wire_bytes(),
             }
@@ -1340,7 +1427,14 @@ impl Simulation {
             self.metrics.signature_messages += 1;
             self.metrics.signature_bytes += bytes;
         }
-        sched.schedule_at(done, Ev::SigReply { from: to, to: from, sig });
+        sched.schedule_at(
+            done,
+            Ev::SigReply {
+                from: to,
+                to: from,
+                sig,
+            },
+        );
     }
 
     fn on_sig_reply(&mut self, from: usize, to: usize, sig: Rc<BloomFilter>) {
@@ -1380,24 +1474,29 @@ impl Simulation {
             .drain(..take.min(host.peer_retrieved_log.len()))
             .collect();
         host.last_server_contact = now;
-        let bytes =
-            self.cfg.msg.validation + self.cfg.msg.per_list_entry * sample.len() as u64;
+        let bytes = self.cfg.msg.validation + self.cfg.msg.per_list_entry * sample.len() as u64;
         let arr = self.server.request_arrival(now, bytes);
-        sched.schedule_at(arr, Ev::ExplicitUpdateAtMss { mh, sample });
+        sched.schedule_at(
+            arr,
+            Ev::ExplicitUpdateAtMss {
+                mh,
+                sample: Rc::new(sample),
+            },
+        );
     }
 
     fn on_explicit_update_at_mss(
         &mut self,
         sched: &mut Scheduler<Ev>,
         mh: usize,
-        sample: Vec<ItemId>,
+        sample: Rc<Vec<ItemId>>,
     ) {
         let now = sched.now();
         let changes = {
             let Some(dir) = self.dir.as_mut() else { return };
             let pos = self.field.position_at(mh, now);
             dir.record_location(mh, pos);
-            for item in &sample {
+            for item in sample.iter() {
                 dir.record_access(mh, item.as_u64());
             }
             dir.drain_changes(mh)
@@ -1405,10 +1504,15 @@ impl Simulation {
         if changes.is_empty() {
             return;
         }
-        let bytes =
-            self.cfg.msg.validation + self.cfg.msg.per_list_entry * changes.len() as u64;
+        let bytes = self.cfg.msg.validation + self.cfg.msg.per_list_entry * changes.len() as u64;
         let arr = self.server.response_arrival(now, bytes);
-        sched.schedule_at(arr, Ev::MembershipNews { mh, changes });
+        sched.schedule_at(
+            arr,
+            Ev::MembershipNews {
+                mh,
+                changes: Rc::new(changes),
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1441,7 +1545,9 @@ impl Simulation {
             return;
         }
         let model = self.cfg.power;
-        self.metrics.power.charge_p2p(&model, P2pRole::Sender, bytes);
+        self.metrics
+            .power
+            .charge_p2p(&model, P2pRole::Sender, bytes);
         self.metrics
             .power
             .charge_p2p(&model, P2pRole::Destination, bytes);

@@ -78,7 +78,13 @@ impl TcgDirectory {
     /// # Panics
     ///
     /// Panics if `n` or `n_data` is zero, or ω ∉ [0, 1].
-    pub fn new(n: usize, n_data: u64, delta_distance: f64, delta_similarity: f64, omega: f64) -> Self {
+    pub fn new(
+        n: usize,
+        n_data: u64,
+        delta_distance: f64,
+        delta_similarity: f64,
+        omega: f64,
+    ) -> Self {
         assert!(n > 0, "need at least one host");
         assert!(n_data > 0, "database must be non-empty");
         assert!((0.0..=1.0).contains(&omega), "omega must lie in [0, 1]");

@@ -50,12 +50,13 @@ fn every_request_walks_a_legal_lifecycle() {
                     replied = true;
                 }
                 TraceKind::GlobalHit { .. } => {
-                    assert!(open && searched && replied, "mh{mh}: global hit without search+reply");
+                    assert!(
+                        open && searched && replied,
+                        "mh{mh}: global hit without search+reply"
+                    );
                     open = false;
                 }
-                TraceKind::LocalHit
-                | TraceKind::ServerDelivered
-                | TraceKind::PushDelivered => {
+                TraceKind::LocalHit | TraceKind::ServerDelivered | TraceKind::PushDelivered => {
                     assert!(open, "mh{mh}: completion outside a request");
                     open = false;
                 }
@@ -77,7 +78,10 @@ fn terminal_records_match_completed_count() {
     // Every issued request completed (the run stops only between requests,
     // except the per-host requests in flight at the stop instant).
     assert!(issued >= terminals);
-    assert!(issued - terminals <= 30, "at most one open request per host");
+    assert!(
+        issued - terminals <= 30,
+        "at most one open request per host"
+    );
     // Recorded completions are a subset of total completions (warm-up).
     assert!(out.metrics.completed() as usize <= terminals);
 }

@@ -182,19 +182,22 @@ impl MobilityField {
                 }
             }
             MotionModel::GroupWaypoint => {
-            let gp = GroupParams {
-                reference: wp,
-                group_radius: config.group_radius,
-                member_v_min: (config.v_min * 0.5).max(0.1),
-                member_v_max: (config.v_max * 0.5).max(0.2),
-            };
+                let gp = GroupParams {
+                    reference: wp,
+                    group_radius: config.group_radius,
+                    member_v_min: (config.v_min * 0.5).max(0.1),
+                    member_v_max: (config.v_max * 0.5).max(0.2),
+                };
                 let mut i = 0;
                 while i < n {
                     let members = config.group_size.min(n - i);
                     let gi = groups.len();
                     groups.push(MotionGroup::new(gp, members, &mut rng));
                     for m in 0..members {
-                        movers.push(Mover::Grouped { group: gi, member: m });
+                        movers.push(Mover::Grouped {
+                            group: gi,
+                            member: m,
+                        });
                         group_of.push(gi);
                     }
                     i += members;

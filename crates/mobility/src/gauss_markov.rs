@@ -54,7 +54,10 @@ impl Default for GaussMarkovParams {
 
 impl GaussMarkovParams {
     fn validate(&self) {
-        assert!(self.width > 0.0 && self.height > 0.0, "area must be non-empty");
+        assert!(
+            self.width > 0.0 && self.height > 0.0,
+            "area must be non-empty"
+        );
         assert!(
             (0.0..=1.0).contains(&self.alpha),
             "alpha must lie in [0, 1]"
@@ -146,21 +149,16 @@ impl GaussMarkov {
         let p = self.params;
         let margin = 0.1;
         let (x, y) = (self.pos.x / p.width, self.pos.y / p.height);
-        match (
-            x < margin,
-            x > 1.0 - margin,
-            y < margin,
-            y > 1.0 - margin,
-        ) {
-            (true, _, true, _) => 0.25 * PI,    // bottom-left → NE
-            (true, _, _, true) => -0.25 * PI,   // top-left → SE
-            (_, true, true, _) => 0.75 * PI,    // bottom-right → NW
-            (_, true, _, true) => -0.75 * PI,   // top-right → SW
-            (true, ..) => 0.0,                  // left wall → E
-            (_, true, ..) => PI,                // right wall → W
-            (_, _, true, _) => FRAC_PI_2,       // bottom wall → N
-            (_, _, _, true) => -FRAC_PI_2,      // top wall → S
-            _ => self.heading,                  // interior: keep course
+        match (x < margin, x > 1.0 - margin, y < margin, y > 1.0 - margin) {
+            (true, _, true, _) => 0.25 * PI,  // bottom-left → NE
+            (true, _, _, true) => -0.25 * PI, // top-left → SE
+            (_, true, true, _) => 0.75 * PI,  // bottom-right → NW
+            (_, true, _, true) => -0.75 * PI, // top-right → SW
+            (true, ..) => 0.0,                // left wall → E
+            (_, true, ..) => PI,              // right wall → W
+            (_, _, true, _) => FRAC_PI_2,     // bottom wall → N
+            (_, _, _, true) => -FRAC_PI_2,    // top wall → S
+            _ => self.heading,                // interior: keep course
         }
     }
 

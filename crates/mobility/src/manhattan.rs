@@ -39,12 +39,18 @@ impl Default for ManhattanParams {
 
 impl ManhattanParams {
     fn validate(&self) {
-        assert!(self.width > 0.0 && self.height > 0.0, "area must be non-empty");
+        assert!(
+            self.width > 0.0 && self.height > 0.0,
+            "area must be non-empty"
+        );
         assert!(
             self.block > 0.0 && self.block <= self.width && self.block <= self.height,
             "block must fit the area"
         );
-        assert!(self.v_min > 0.0 && self.v_max >= self.v_min, "bad speed range");
+        assert!(
+            self.v_min > 0.0 && self.v_max >= self.v_min,
+            "bad speed range"
+        );
     }
 
     fn cols(&self) -> i64 {
@@ -131,8 +137,8 @@ impl Manhattan {
             rng.uniform_u64(params.cols() as u64 + 1) as i64,
             rng.uniform_u64(params.rows() as u64 + 1) as i64,
         );
-        let heading = [Heading::East, Heading::West, Heading::North, Heading::South]
-            [rng.uniform_usize(4)];
+        let heading =
+            [Heading::East, Heading::West, Heading::North, Heading::South][rng.uniform_usize(4)];
         let mut mover = Manhattan {
             params,
             rng,
@@ -228,10 +234,7 @@ mod tests {
             let p = m.position_at(SimTime::from_millis(s * 700));
             let on_vertical = (p.x / 100.0 - (p.x / 100.0).round()).abs() < 1e-6;
             let on_horizontal = (p.y / 100.0 - (p.y / 100.0).round()).abs() < 1e-6;
-            assert!(
-                on_vertical || on_horizontal,
-                "left the street grid at {p}"
-            );
+            assert!(on_vertical || on_horizontal, "left the street grid at {p}");
             assert!((0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y));
         }
     }
@@ -243,11 +246,13 @@ mod tests {
         let start = m.position_at(SimTime::ZERO);
         let far = m.position_at(SimTime::from_secs(3_000));
         // Virtually certain to have wandered away from the start.
-        assert!(start.distance(far) > 0.0 || {
-            // Extremely unlikely return-to-start: accept if it moved at all
-            // mid-way.
-            m.position_at(SimTime::from_secs(4_000)).distance(start) > 0.0
-        });
+        assert!(
+            start.distance(far) > 0.0 || {
+                // Extremely unlikely return-to-start: accept if it moved at all
+                // mid-way.
+                m.position_at(SimTime::from_secs(4_000)).distance(start) > 0.0
+            }
+        );
     }
 
     #[test]

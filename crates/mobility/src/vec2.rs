@@ -111,7 +111,10 @@ mod tests {
     fn clamp_keeps_interior_points() {
         let p = Vec2::new(5.0, 5.0);
         assert_eq!(p.clamp_to(10.0, 10.0), p);
-        assert_eq!(Vec2::new(-1.0, 12.0).clamp_to(10.0, 10.0), Vec2::new(0.0, 10.0));
+        assert_eq!(
+            Vec2::new(-1.0, 12.0).clamp_to(10.0, 10.0),
+            Vec2::new(0.0, 10.0)
+        );
     }
 
     #[test]

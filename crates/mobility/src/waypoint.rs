@@ -32,7 +32,10 @@ impl WaypointParams {
     ///
     /// Panics if the area is empty, speeds are non-positive or inverted.
     pub fn validate(&self) {
-        assert!(self.width > 0.0 && self.height > 0.0, "area must be non-empty");
+        assert!(
+            self.width > 0.0 && self.height > 0.0,
+            "area must be non-empty"
+        );
         assert!(self.v_min > 0.0, "v_min must be positive (RWP speed decay)");
         assert!(self.v_max >= self.v_min, "v_max must be >= v_min");
     }
@@ -42,8 +45,8 @@ impl WaypointParams {
 struct Segment {
     from: Vec2,
     to: Vec2,
-    depart: SimTime,   // when movement starts (after pause)
-    arrive: SimTime,   // when the destination is reached
+    depart: SimTime, // when movement starts (after pause)
+    arrive: SimTime, // when the destination is reached
     pause_until: SimTime,
 }
 
@@ -111,7 +114,9 @@ impl RandomWaypoint {
             rng.uniform_f64(0.0, params.width),
             rng.uniform_f64(0.0, params.height),
         );
-        let speed = rng.uniform_f64(params.v_min, params.v_max).max(params.v_min);
+        let speed = rng
+            .uniform_f64(params.v_min, params.v_max)
+            .max(params.v_min);
         let travel = SimTime::from_secs_f64(from.distance(to) / speed);
         let arrive = depart.saturating_add(travel);
         Segment {
@@ -130,7 +135,12 @@ impl RandomWaypoint {
     /// segment's departure is answered from the current segment start.
     pub fn position_at(&mut self, t: SimTime) -> Vec2 {
         while t >= self.seg.pause_until {
-            self.seg = Self::next_segment(&self.params, &mut self.rng, self.seg.to, self.seg.pause_until);
+            self.seg = Self::next_segment(
+                &self.params,
+                &mut self.rng,
+                self.seg.to,
+                self.seg.pause_until,
+            );
         }
         if t >= self.seg.arrive {
             return self.seg.to; // pausing at the waypoint
@@ -138,8 +148,8 @@ impl RandomWaypoint {
         if t <= self.seg.depart {
             return self.seg.from;
         }
-        let frac = (t - self.seg.depart).as_secs_f64()
-            / (self.seg.arrive - self.seg.depart).as_secs_f64();
+        let frac =
+            (t - self.seg.depart).as_secs_f64() / (self.seg.arrive - self.seg.depart).as_secs_f64();
         self.seg.from.lerp(self.seg.to, frac)
     }
 

@@ -133,7 +133,10 @@ impl ServerChannel {
     ///
     /// Panics if either bandwidth is zero.
     pub fn new(uplink_kbps: u64, downlink_kbps: u64) -> Self {
-        assert!(uplink_kbps > 0 && downlink_kbps > 0, "bandwidths must be positive");
+        assert!(
+            uplink_kbps > 0 && downlink_kbps > 0,
+            "bandwidths must be positive"
+        );
         ServerChannel {
             uplink: Facility::new("server-uplink"),
             downlink: Facility::new("server-downlink"),
@@ -260,7 +263,10 @@ mod tests {
         let sizes = MessageSizes::default();
         let a = ch.response_arrival(now, sizes.data_message());
         let b = ch.response_arrival(now, sizes.data_message());
-        assert!(b.saturating_sub(a) >= a, "second message queued behind the first");
+        assert!(
+            b.saturating_sub(a) >= a,
+            "second message queued behind the first"
+        );
         assert_eq!(ch.downlink_jobs(), 2);
         assert!(ch.downlink_queue_delay_secs() > 0.0);
     }

@@ -211,7 +211,11 @@ mod tests {
         let ev = ndp.beacon_round(|a, b| a + 1 == b, &all_active(4));
         assert_eq!(
             ev,
-            vec![LinkEvent::Up(0, 1), LinkEvent::Up(1, 2), LinkEvent::Up(2, 3)]
+            vec![
+                LinkEvent::Up(0, 1),
+                LinkEvent::Up(1, 2),
+                LinkEvent::Up(2, 3)
+            ]
         );
         assert_eq!(ndp.link_count(), 3);
         assert!(ndp.is_linked(1, 0), "links are symmetric");

@@ -94,9 +94,7 @@ impl PushSchedule {
         if self.items.is_empty() {
             return SimTime::ZERO;
         }
-        SimTime::from_micros(
-            self.cycle_time().as_micros() / 2 + self.slot_time.as_micros(),
-        )
+        SimTime::from_micros(self.cycle_time().as_micros() / 2 + self.slot_time.as_micros())
     }
 
     /// The scheduled items, in slot order.
@@ -117,8 +115,14 @@ mod tests {
     fn delivery_times_follow_slots() {
         let s = sched();
         // Tune in at t = 0: item 10 completes at 5 ms, 40 at 20 ms.
-        assert_eq!(s.next_delivery(10, SimTime::ZERO), Some(SimTime::from_millis(5)));
-        assert_eq!(s.next_delivery(40, SimTime::ZERO), Some(SimTime::from_millis(20)));
+        assert_eq!(
+            s.next_delivery(10, SimTime::ZERO),
+            Some(SimTime::from_millis(5))
+        );
+        assert_eq!(
+            s.next_delivery(40, SimTime::ZERO),
+            Some(SimTime::from_millis(20))
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! A bounded, self-scheduling worker pool over scoped threads.
+//!
+//! The figure harness runs grids of fully independent simulation cells —
+//! every (x-value, scheme, seed) triple is its own deterministic run. This
+//! crate fans such grids out across OS threads with no external
+//! dependencies: [`std::thread::scope`] workers pull the next job index from
+//! a shared atomic cursor (the idle steal the slow workers' backlog), and
+//! results are collected **by input index**, so the output order — and
+//! therefore everything printed or asserted downstream — is byte-identical
+//! to a serial run.
+//!
+//! The job *inputs* stay on the caller's stack and are only shared (`Sync`);
+//! the worker builds whatever non-`Send` machinery it needs (the simulator
+//! is `Rc`-based) inside the closure.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = grococa_par::run_indexed(&[1u64, 2, 3, 4], 2, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable selecting the degree of parallelism.
+pub const JOBS_ENV: &str = "GROCOCA_JOBS";
+
+/// The worker count selected by `GROCOCA_JOBS`, defaulting to the number of
+/// available cores (minimum 1). Zero or unparsable values fall back to the
+/// default.
+///
+/// # Examples
+///
+/// ```
+/// assert!(grococa_par::jobs_from_env() >= 1);
+/// ```
+pub fn jobs_from_env() -> usize {
+    std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_jobs)
+}
+
+/// The default degree of parallelism: the number of available cores.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every input on a pool of `jobs` scoped threads, returning
+/// the outputs **in input order**.
+///
+/// Scheduling is dynamic: workers repeatedly claim the next unclaimed index
+/// from a shared cursor, so long-running cells never leave idle cores
+/// behind a static partition. With `jobs == 1` (or a single input) the
+/// inputs are processed inline on the calling thread — the parallel and
+/// serial paths produce identical output by construction, since each output
+/// slot depends only on its own input.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads have stopped.
+///
+/// # Examples
+///
+/// ```
+/// let inputs: Vec<u32> = (0..100).collect();
+/// let serial = grococa_par::run_indexed(&inputs, 1, |&x| x.wrapping_mul(x));
+/// let parallel = grococa_par::run_indexed(&inputs, 8, |&x| x.wrapping_mul(x));
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn run_indexed<I, O, F>(inputs: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, O)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    collected.sort_by_key(|&(idx, _)| idx);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+/// [`run_indexed`] with the worker count from `GROCOCA_JOBS` (default: all
+/// available cores).
+pub fn run<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_indexed(inputs, jobs_from_env(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = run_indexed(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_order_matches_input_order() {
+        // Make early indices the slowest so completion order inverts
+        // submission order; collection must still be index-ordered.
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = run_indexed(&inputs, 8, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros((64 - x) * 50));
+            x * 3
+        });
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let work = |&x: &u64| {
+            // A little arithmetic so the compiler cannot collapse the job.
+            (0..50).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let serial = run_indexed(&inputs, 1, work);
+        for jobs in [2, 3, 4, 16] {
+            assert_eq!(run_indexed(&inputs, jobs, work), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let inputs: Vec<u32> = (0..1000).collect();
+        let out = run_indexed(&inputs, 7, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn oversized_pool_is_clamped() {
+        let inputs = [1u8, 2];
+        assert_eq!(run_indexed(&inputs, 100, |&x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let inputs: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(&inputs, 4, |&x| {
+                assert!(x != 9, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -229,10 +229,8 @@ mod tests {
         meter.charge_p2p(&model, P2pRole::Destination, 100);
         meter.charge_p2p(&model, P2pRole::DiscardBothRanges, 100);
         meter.charge_broadcast(&model, BroadcastRole::Receiver, 100);
-        let expected_total = (1.9 * 100.0 + 454.0)
-            + (0.5 * 100.0 + 356.0)
-            + 70.0
-            + (0.5 * 100.0 + 56.0);
+        let expected_total =
+            (1.9 * 100.0 + 454.0) + (0.5 * 100.0 + 356.0) + 70.0 + (0.5 * 100.0 + 56.0);
         assert!((meter.total_uws() - expected_total).abs() < 1e-9);
         assert!((meter.discarded_uws() - 70.0).abs() < 1e-9);
         assert!(meter.sent_uws() > 0.0 && meter.received_uws() > 0.0);

@@ -58,11 +58,18 @@ impl CountingFilter {
     /// Panics if `sigma` or `k` is zero, or `pi_c` is zero or above 16.
     pub fn new(sigma: u32, k: u32, pi_c: u32) -> Self {
         assert!(sigma > 0 && k > 0, "filter geometry must be positive");
-        assert!((1..=16).contains(&pi_c), "counter width must be 1..=16 bits");
+        assert!(
+            (1..=16).contains(&pi_c),
+            "counter width must be 1..=16 bits"
+        );
         CountingFilter {
             sigma,
             k,
-            max: if pi_c == 16 { u16::MAX } else { (1u16 << pi_c) - 1 },
+            max: if pi_c == 16 {
+                u16::MAX
+            } else {
+                (1u16 << pi_c) - 1
+            },
             counters: vec![0; sigma as usize],
         }
     }
@@ -217,7 +224,7 @@ mod tests {
         cf.insert(key);
         cf.insert(key); // saturated, skipped
         cf.remove(key).unwrap(); // counter drops to 0 though key still "in"
-        // Second removal underflows → rebuild from true contents.
+                                 // Second removal underflows → rebuild from true contents.
         assert_eq!(cf.remove(key), Err(NeedsRebuild));
         cf.rebuild([key]);
         assert!(cf.to_bloom().contains(key));

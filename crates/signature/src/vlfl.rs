@@ -18,7 +18,10 @@ pub struct DecodeSignatureError;
 
 impl std::fmt::Display for DecodeSignatureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "VLFL codeword stream does not decode to the declared size")
+        write!(
+            f,
+            "VLFL codeword stream does not decode to the declared size"
+        )
     }
 }
 

@@ -5,7 +5,7 @@
 //! a monotone sequence number), which keeps simulations deterministic.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::SimTime;
 
@@ -70,8 +70,12 @@ pub struct Scheduler<E> {
     now: SimTime,
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    cancelled: Vec<u64>,
+    /// Lazily cancelled sequence numbers. A hash set keeps both
+    /// cancellation and the per-pop tombstone check O(1) amortised — the
+    /// earlier `Vec` tombstone list was scanned linearly on every pop.
+    cancelled: HashSet<u64>,
     fired: u64,
+    peak_depth: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -87,8 +91,9 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: Vec::new(),
+            cancelled: HashSet::new(),
             fired: 0,
+            peak_depth: 0,
         }
     }
 
@@ -102,6 +107,15 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn events_fired(&self) -> u64 {
         self.fired
+    }
+
+    /// The deepest the pending-event queue has ever been (cancelled events
+    /// included until they are skipped). A throughput diagnostic: the heap
+    /// depth bounds the per-operation cost of the queue, so a run's peak
+    /// depth explains where scheduler time went.
+    #[inline]
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
     }
 
     /// Number of events still pending.
@@ -128,6 +142,7 @@ impl<E> Scheduler<E> {
             seq,
             payload,
         });
+        self.peak_depth = self.peak_depth.max(self.heap.len());
         EventId(seq)
     }
 
@@ -140,9 +155,17 @@ impl<E> Scheduler<E> {
     ///
     /// Cancellation is lazy: the event stays in the queue but is skipped when
     /// it reaches the front. Cancelling an event that already fired is a
-    /// no-op.
+    /// no-op, and cancelling the same event twice is idempotent.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.push(id.0);
+        self.cancelled.insert(id.0);
+    }
+
+    /// Whether `ev` was cancelled; consumes the tombstone when it was.
+    #[inline]
+    fn is_cancelled(&mut self, ev: &Scheduled<E>) -> bool {
+        // The empty-set fast path keeps cancellation entirely off the hot
+        // loop for the (dominant) runs that rarely cancel.
+        !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq)
     }
 
     /// Pops the next pending event, advancing the clock to its timestamp.
@@ -150,14 +173,16 @@ impl<E> Scheduler<E> {
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.heap.pop() {
-            if let Some(pos) = self.cancelled.iter().position(|&c| c == ev.seq) {
-                self.cancelled.swap_remove(pos);
+            if self.is_cancelled(&ev) {
                 continue;
             }
             self.now = ev.at;
             self.fired += 1;
             return Some((ev.at, ev.payload));
         }
+        // Any tombstone still alive here referred to an already-fired
+        // event; drop them so they cannot distort `pending` later.
+        self.cancelled.clear();
         None
     }
 
@@ -169,8 +194,7 @@ impl<E> Scheduler<E> {
                 return None;
             }
             let ev = self.heap.pop().expect("peeked event vanished");
-            if let Some(pos) = self.cancelled.iter().position(|&c| c == ev.seq) {
-                self.cancelled.swap_remove(pos);
+            if self.is_cancelled(&ev) {
                 continue;
             }
             self.now = ev.at;
@@ -264,6 +288,56 @@ mod tests {
         s.cancel(a);
         // The second event must still fire even though a stale cancel exists.
         assert_eq!(s.pop().map(|e| e.1), Some(2));
+    }
+
+    #[test]
+    fn cancel_then_reschedule_same_instants_keeps_order() {
+        // Exercises the tombstone path: cancel a whole batch, schedule a
+        // fresh batch at the very same instants, and check that only the
+        // fresh events fire — in FIFO order — with every tombstone consumed.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let first: Vec<EventId> = (0..100)
+            .map(|i| s.schedule_at(SimTime::from_secs(i % 10), i as u32))
+            .collect();
+        for id in first {
+            s.cancel(id);
+        }
+        // Double-cancel must stay idempotent.
+        let extra = s.schedule_at(SimTime::from_secs(0), 999);
+        s.cancel(extra);
+        s.cancel(extra);
+        assert_eq!(s.pending(), 0);
+        for i in 0..100u32 {
+            s.schedule_at(SimTime::from_secs(u64::from(i) % 10), 1000 + i);
+        }
+        assert_eq!(s.pending(), 100);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|e| e.1)).collect();
+        // Within each instant, FIFO schedule order; instants ascend.
+        let mut expected: Vec<u32> = Vec::new();
+        for t in 0..10u32 {
+            for i in 0..100u32 {
+                if i % 10 == t {
+                    expected.push(1000 + i);
+                }
+            }
+        }
+        assert_eq!(order, expected);
+        assert_eq!(s.events_fired(), 100);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        assert_eq!(s.peak_depth(), 0);
+        for i in 0..5 {
+            s.schedule_at(SimTime::from_secs(i), i as u32);
+        }
+        assert_eq!(s.peak_depth(), 5);
+        while s.pop().is_some() {}
+        // Draining never lowers the high-water mark.
+        assert_eq!(s.peak_depth(), 5);
+        s.schedule_at(SimTime::from_secs(99), 0);
+        assert_eq!(s.peak_depth(), 5);
     }
 
     #[test]

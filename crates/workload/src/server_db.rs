@@ -168,7 +168,7 @@ mod tests {
         let mut db = ServerDb::new(10, 1.0);
         let x = ItemId::new(1);
         db.apply_update(x, t(100)); // first interval sample: 100 s
-        // Fetch immediately after the update: full interval remains.
+                                    // Fetch immediately after the update: full interval remains.
         assert_eq!(db.ttl_for(x, t(100)), t(100));
         // Fetch 40 s later: 60 s remain.
         assert_eq!(db.ttl_for(x, t(140)), t(60));
@@ -225,6 +225,9 @@ mod tests {
         let touched = (0..20)
             .filter(|&i| db.update_interval(ItemId::new(i)).is_some())
             .count();
-        assert!(touched >= 19, "only {touched} of 20 items updated in 500 draws");
+        assert!(
+            touched >= 19,
+            "only {touched} of 20 items updated in 500 draws"
+        );
     }
 }

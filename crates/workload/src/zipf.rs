@@ -89,9 +89,16 @@ impl Zipf {
     ///
     /// Panics if `rank` is zero or above `n`.
     pub fn probability(&self, rank: usize) -> f64 {
-        assert!((1..=self.cumulative.len()).contains(&rank), "rank out of range");
+        assert!(
+            (1..=self.cumulative.len()).contains(&rank),
+            "rank out of range"
+        );
         let hi = self.cumulative[rank - 1];
-        let lo = if rank == 1 { 0.0 } else { self.cumulative[rank - 2] };
+        let lo = if rank == 1 {
+            0.0
+        } else {
+            self.cumulative[rank - 2]
+        };
         hi - lo
     }
 }

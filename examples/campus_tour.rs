@@ -47,7 +47,9 @@ fn main() {
 
     // Inspect the discovered group structure under GroCoca.
     let (out, world) = Simulation::new(campus_config(Scheme::GroCoca)).run_inspect();
-    let dir = world.tcg_directory().expect("GroCoca keeps a TCG directory");
+    let dir = world
+        .tcg_directory()
+        .expect("GroCoca keeps a TCG directory");
     let n = 120;
     let mut edges = 0usize;
     let mut same_group = 0usize;

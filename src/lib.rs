@@ -51,13 +51,13 @@ pub use grococa_core as core;
 pub use grococa_mobility as mobility;
 pub use grococa_net as net;
 pub use grococa_power as power;
-pub use grococa_sim as sim;
 pub use grococa_signature as signature;
+pub use grococa_sim as sim;
 pub use grococa_workload as workload;
 
 pub use grococa_core::{
-    DataDelivery, GroCocaToggles, MembershipChange, Metrics, MotionModel, Outcome, Report,
-    ReplacementPolicy, Scheme, SimConfig, Simulation, TcgDirectory,
+    DataDelivery, GroCocaToggles, MembershipChange, Metrics, MotionModel, Outcome,
+    ReplacementPolicy, Report, Scheme, SimConfig, Simulation, TcgDirectory,
 };
 pub use grococa_sim::SimTime;
 pub use grococa_workload::ItemId;

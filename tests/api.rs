@@ -1,9 +1,7 @@
 //! Facade-level API tests: everything a downstream user touches through
 //! the `grococa` umbrella crate.
 
-use grococa::{
-    GroCocaToggles, ItemId, Outcome, Scheme, SimConfig, SimTime, Simulation,
-};
+use grococa::{GroCocaToggles, ItemId, Outcome, Scheme, SimConfig, SimTime, Simulation};
 
 #[test]
 fn facade_reexports_are_usable() {

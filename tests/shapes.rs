@@ -24,7 +24,10 @@ fn gch_grows_with_group_size() {
         Simulation::new(c).run().report.global_hit_ratio_pct
     };
     let (one, five, ten) = (gch(1), gch(5), gch(10));
-    assert!(one < five && five < ten, "GCH not increasing: {one:.1} {five:.1} {ten:.1}");
+    assert!(
+        one < five && five < ten,
+        "GCH not increasing: {one:.1} {five:.1} {ten:.1}"
+    );
 }
 
 /// Figure 7(a): conventional caching collapses when the shared downlink

@@ -1,0 +1,129 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace cannot reach crates.io, so the
+//! small API surface the micro-benchmarks use is vendored here: `Criterion`,
+//! `Bencher::iter`, [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The harness is deliberately simple — a calibration pass sizes the batch,
+//! then a fixed number of timed batches report the median nanoseconds per
+//! iteration. It has none of criterion's statistics, but produces stable,
+//! comparable numbers for the relative regressions these benches guard.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(250);
+/// Timed batches per benchmark (median reported).
+const BATCHES: usize = 11;
+
+/// The benchmark driver handed to every registered function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id`, printing the median ns/iter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.ns_per_iter {
+            Some(ns) => println!("bench {id:<44} {:>12.1} ns/iter", ns),
+            None => println!("bench {id:<44} (no iterations)"),
+        }
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median nanoseconds per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: find a batch size that takes a measurable slice of
+        // the budget.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= MEASURE_BUDGET / (BATCHES as u32 * 4) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter.is_some());
+        assert!(b.ns_per_iter.unwrap() >= 0.0);
+    }
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial/add", |b| b.iter(|| black_box(1u32) + 1));
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}
