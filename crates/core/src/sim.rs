@@ -6,7 +6,6 @@
 //! [`RunOutput`] with the metrics the paper's figures plot. Runs are
 //! deterministic in the configuration seed.
 
-use std::collections::HashSet;
 use std::rc::Rc;
 
 use grococa_mobility::{FieldConfig, MobilityField};
@@ -147,6 +146,12 @@ pub struct RunOutput {
     /// Events dispatched per wall-clock second — the simulator's raw
     /// throughput for this run.
     pub events_per_sec: f64,
+    /// Geometric queries served from the memoised per-instant position
+    /// snapshot (no recompute).
+    pub pos_cache_hits: u64,
+    /// Geometric queries that had to (re)build the position snapshot or
+    /// compute a position point-wise.
+    pub pos_cache_misses: u64,
     /// High-water mark of the scheduler's pending-event queue.
     pub peak_heap_depth: usize,
 }
@@ -189,6 +194,22 @@ pub struct Simulation {
     full_caches: usize,
     completed_recorded: u64,
     target_completed: u64,
+    /// Reusable neighbour-query buffers (sender/destination ranges in
+    /// `charge_p2p`, per-host rows elsewhere) — the geometric hot paths
+    /// never allocate once these are warm.
+    nbr_a: Vec<usize>,
+    nbr_b: Vec<usize>,
+    /// Reusable broadcast-reach buffer for `broadcast_reach_into`.
+    reach_scratch: Vec<(usize, u32)>,
+    /// Reusable CSR adjacency (row offsets + neighbour indices) built once
+    /// per beacon tick and shared by the NDP round and power accounting.
+    csr_starts: Vec<usize>,
+    csr_nbrs: Vec<u32>,
+    /// Activity bitmask (bit per host), packed once per beacon tick for
+    /// the word-filtered neighbour queries, plus the per-host row buffer
+    /// they fill (`u32`, so appending to `csr_nbrs` is a plain copy).
+    active_bits: Vec<u64>,
+    csr_row: Vec<u32>,
 }
 
 impl Simulation {
@@ -292,6 +313,13 @@ impl Simulation {
             full_caches: 0,
             completed_recorded: 0,
             target_completed: cfg.requests_per_mh * n as u64,
+            nbr_a: Vec::new(),
+            nbr_b: Vec::new(),
+            reach_scratch: Vec::new(),
+            csr_starts: Vec::new(),
+            active_bits: Vec::new(),
+            csr_row: Vec::new(),
+            csr_nbrs: Vec::new(),
             cfg,
         }
     }
@@ -346,6 +374,7 @@ impl Simulation {
         let elapsed = started.elapsed().as_secs_f64();
         let finished_at = sched.now();
         self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
+        let (pos_cache_hits, pos_cache_misses) = self.field.cache_stats();
         let out = RunOutput {
             report: self.metrics.report(),
             warmed_at: self.warmed_at,
@@ -359,6 +388,8 @@ impl Simulation {
             } else {
                 0.0
             },
+            pos_cache_hits,
+            pos_cache_misses,
             peak_heap_depth: sched.peak_depth(),
             metrics: self.metrics.clone(),
         };
@@ -660,7 +691,8 @@ impl Simulation {
         let entries = updates.as_ref().map_or(0, |u| u.0.len() + u.1.len());
         let bytes = self.cfg.msg.request_with_updates(entries);
         let sent_done = self.p2p.send(mh, now, bytes);
-        let reached = self.broadcast_reach(mh, now);
+        let reached = std::mem::take(&mut self.reach_scratch);
+        let reached = self.broadcast_reach_into(mh, now, reached);
         self.charge_broadcast(mh, &reached, bytes);
         for &(peer, hop) in &reached {
             let at = self.p2p.broadcast_delivery(sent_done, bytes, hop);
@@ -682,6 +714,7 @@ impl Simulation {
                 peers_reached: reached.len(),
             },
         );
+        self.reach_scratch = reached;
         let tau = self.search_timeout(mh);
         let host = &mut self.hosts[mh];
         let p = host.pending.as_mut().expect("search on live request");
@@ -690,23 +723,35 @@ impl Simulation {
     }
 
     /// Who a broadcast from `mh` reaches within `HopDist` hops: exact
-    /// geometry by default, or the (possibly stale) NDP link table when
-    /// `ndp_tables` is enabled.
-    fn broadcast_reach(&mut self, mh: usize, now: SimTime) -> Vec<(usize, u32)> {
+    /// geometry by default (grid-accelerated BFS into the reusable
+    /// buffer), or the (possibly stale) NDP link table when `ndp_tables`
+    /// is enabled. Takes and returns the buffer so callers can keep it in
+    /// `reach_scratch` without fighting the borrow checker.
+    fn broadcast_reach_into(
+        &mut self,
+        mh: usize,
+        now: SimTime,
+        mut out: Vec<(usize, u32)>,
+    ) -> Vec<(usize, u32)> {
         match &self.ndp {
-            Some(ndp) => ndp
-                .reachable_within_hops(mh, self.cfg.hop_dist)
-                .into_iter()
-                .filter(|&(peer, _)| self.active[peer])
-                .collect(),
-            None => self.field.reachable_within_hops(
+            Some(ndp) => {
+                out.clear();
+                out.extend(
+                    ndp.reachable_within_hops(mh, self.cfg.hop_dist)
+                        .into_iter()
+                        .filter(|&(peer, _)| self.active[peer]),
+                );
+            }
+            None => self.field.reachable_within_hops_into(
                 mh,
                 self.cfg.tran_range,
                 self.cfg.hop_dist,
                 now,
                 &self.active,
+                &mut out,
             ),
         }
+        out
     }
 
     /// The adaptive timeout of Section III: τ = τ̄ + φ′·σ_τ, floored at the
@@ -1228,14 +1273,20 @@ impl Simulation {
             sched.schedule_at(arr, Ev::ReconnectSync { mh });
             // Peers holding this host in their OutstandSigList detect the
             // reconnection beacon and ask for the fresh signature.
-            let in_range = self
-                .field
-                .neighbors_within(mh, self.cfg.tran_range, now, &self.active);
-            for p in in_range {
+            let mut in_range = std::mem::take(&mut self.nbr_a);
+            self.field.neighbors_within_into(
+                mh,
+                self.cfg.tran_range,
+                now,
+                &self.active,
+                &mut in_range,
+            );
+            for &p in &in_range {
                 if self.hosts[p].outstand_sig.contains(&mh) {
                     self.send_sig_request(sched, p, mh, None);
                 }
             }
+            self.nbr_a = in_range;
         }
         let mean = self.mean_think(mh);
         let think = self.host_rngs[mh].exponential(mean);
@@ -1291,7 +1342,7 @@ impl Simulation {
         let Some(dir) = self.dir.as_mut() else {
             return Vec::new();
         };
-        let pos = self.field.position_at(mh, now);
+        let pos = self.field.cached_position_at(mh, now);
         dir.record_location(mh, pos);
         if let Some(item) = item {
             dir.record_access(mh, item.as_u64());
@@ -1374,7 +1425,8 @@ impl Simulation {
         let now = sched.now();
         let bytes = self.cfg.msg.sig_request_with_members(members.len());
         let done = self.p2p.send(mh, now, bytes);
-        let reached = self.broadcast_reach(mh, now);
+        let reached = std::mem::take(&mut self.reach_scratch);
+        let reached = self.broadcast_reach_into(mh, now, reached);
         self.charge_broadcast(mh, &reached, bytes);
         if self.warm {
             self.metrics.signature_messages += 1;
@@ -1390,6 +1442,7 @@ impl Simulation {
                 },
             );
         }
+        self.reach_scratch = reached;
     }
 
     fn on_sig_request(
@@ -1494,7 +1547,7 @@ impl Simulation {
         let now = sched.now();
         let changes = {
             let Some(dir) = self.dir.as_mut() else { return };
-            let pos = self.field.position_at(mh, now);
+            let pos = self.field.cached_position_at(mh, now);
             dir.record_location(mh, pos);
             for item in sample.iter() {
                 dir.record_access(mh, item.as_u64());
@@ -1539,7 +1592,12 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// Charges a point-to-point P2P message: sender, destination and every
-    /// bystander in either transmission range.
+    /// bystander in either transmission range. The two range queries fill
+    /// reusable sorted buffers and the union is a linear merge — no hash
+    /// sets, no per-message allocation. (The discard charges are
+    /// integer-valued constants, so the f64 total is exact in any
+    /// iteration order — the merged order matches the old hash-set union
+    /// byte for byte.)
     fn charge_p2p(&mut self, sender: usize, dest: usize, bytes: u64, now: SimTime) {
         if !self.warm {
             return;
@@ -1551,21 +1609,43 @@ impl Simulation {
         self.metrics
             .power
             .charge_p2p(&model, P2pRole::Destination, bytes);
-        let s_range: HashSet<usize> = self
-            .field
-            .neighbors_within(sender, self.cfg.tran_range, now, &self.active)
-            .into_iter()
-            .collect();
-        let d_range: HashSet<usize> = self
-            .field
-            .neighbors_within(dest, self.cfg.tran_range, now, &self.active)
-            .into_iter()
-            .collect();
-        for &m in s_range.union(&d_range) {
+        let mut s_range = std::mem::take(&mut self.nbr_a);
+        let mut d_range = std::mem::take(&mut self.nbr_b);
+        self.field.neighbors_within_into(
+            sender,
+            self.cfg.tran_range,
+            now,
+            &self.active,
+            &mut s_range,
+        );
+        self.field.neighbors_within_into(
+            dest,
+            self.cfg.tran_range,
+            now,
+            &self.active,
+            &mut d_range,
+        );
+        let (mut i, mut j) = (0, 0);
+        while i < s_range.len() || j < d_range.len() {
+            let (m, in_s, in_d) =
+                if j >= d_range.len() || (i < s_range.len() && s_range[i] < d_range[j]) {
+                    let m = s_range[i];
+                    i += 1;
+                    (m, true, false)
+                } else if i >= s_range.len() || d_range[j] < s_range[i] {
+                    let m = d_range[j];
+                    j += 1;
+                    (m, false, true)
+                } else {
+                    let m = s_range[i];
+                    i += 1;
+                    j += 1;
+                    (m, true, true)
+                };
             if m == sender || m == dest {
                 continue;
             }
-            let role = match (s_range.contains(&m), d_range.contains(&m)) {
+            let role = match (in_s, in_d) {
                 (true, true) => P2pRole::DiscardBothRanges,
                 (true, false) => P2pRole::DiscardSenderRange,
                 (false, true) => P2pRole::DiscardDestRange,
@@ -1573,6 +1653,8 @@ impl Simulation {
             };
             self.metrics.power.charge_p2p(&model, role, bytes);
         }
+        self.nbr_a = s_range;
+        self.nbr_b = d_range;
     }
 
     /// Charges a multi-hop broadcast: the originator and every forwarder
@@ -1605,42 +1687,61 @@ impl Simulation {
     /// every connected neighbour receives it. The paper assumes NDP "is
     /// available" and does not meter it; this optional accounting
     /// quantifies that assumption.
+    ///
+    /// Instead of the historical n(n−1)/2 pairwise sweep, the round is one
+    /// spatial-grid build plus n local-cell queries: the resulting CSR
+    /// adjacency feeds the NDP link table (sparse up/down aging) and the
+    /// per-host receiver counts for power accounting.
     fn on_beacon_tick(&mut self, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         sched.schedule_after(
             SimTime::from_secs_f64(self.cfg.beacon_period_secs),
             Ev::BeaconTick,
         );
-        if let Some(ndp) = self.ndp.as_mut() {
-            let positions = self.field.positions_at(now);
-            let range_sq = self.cfg.tran_range * self.cfg.tran_range;
-            let _ = ndp.beacon_round(
-                |a, b| positions[a].distance_sq(positions[b]) <= range_sq,
-                &self.active,
-            );
-        }
-        if !self.warm || !self.cfg.account_beacons {
+        let account = self.warm && self.cfg.account_beacons;
+        if self.ndp.is_none() && !account {
             return;
         }
-        let model = self.cfg.power;
-        let bytes = self.cfg.msg.beacon;
-        for mh in 0..self.hosts.len() {
-            if !self.hosts[mh].connected {
-                continue;
-            }
-            self.metrics
-                .power
-                .charge_broadcast(&model, BroadcastRole::Sender, bytes);
-            let heard = self
-                .field
-                .neighbors_within(mh, self.cfg.tran_range, now, &self.active)
-                .len();
-            for _ in 0..heard {
+        let n = self.hosts.len();
+        let mut starts = std::mem::take(&mut self.csr_starts);
+        let mut nbrs = std::mem::take(&mut self.csr_nbrs);
+        let mut row = std::mem::take(&mut self.csr_row);
+        let mut bits = std::mem::take(&mut self.active_bits);
+        grococa_mobility::pack_active_bits(&self.active, &mut bits);
+        starts.clear();
+        nbrs.clear();
+        starts.push(0);
+        for mh in 0..n {
+            self.field
+                .neighbors_within_bits(mh, self.cfg.tran_range, now, &bits, &mut row);
+            nbrs.extend_from_slice(&row);
+            starts.push(nbrs.len());
+        }
+        if let Some(ndp) = self.ndp.as_mut() {
+            let _ = ndp.beacon_round_adjacency(&starts, &nbrs, &self.active);
+        }
+        if account {
+            let model = self.cfg.power;
+            let bytes = self.cfg.msg.beacon;
+            for mh in 0..n {
+                if !self.hosts[mh].connected {
+                    continue;
+                }
                 self.metrics
                     .power
-                    .charge_broadcast(&model, BroadcastRole::Receiver, bytes);
+                    .charge_broadcast(&model, BroadcastRole::Sender, bytes);
+                let heard = starts[mh + 1] - starts[mh];
+                for _ in 0..heard {
+                    self.metrics
+                        .power
+                        .charge_broadcast(&model, BroadcastRole::Receiver, bytes);
+                }
             }
         }
+        self.csr_starts = starts;
+        self.csr_nbrs = nbrs;
+        self.csr_row = row;
+        self.active_bits = bits;
     }
 
     fn begin_recording(&mut self, now: SimTime) {

@@ -4,10 +4,30 @@
 
 use grococa_sim::{SimRng, SimTime};
 
+/// Cold bool-mask neighbour queries served by a direct linear scan before
+/// an instant is considered query-dense enough to build the spatial
+/// index. Two covers the event-driven single- and pair-query patterns
+/// (one reconnection beacon; sender plus destination overhearing on one
+/// transfer) at exactly the brute-force cost, while a same-instant burst
+/// builds on its third query and serves the rest at O(k).
+#[cfg(not(feature = "oracle"))]
+const GRID_BUILD_AFTER: u8 = 2;
+
 use crate::{
     GaussMarkov, GaussMarkovParams, GroupParams, Manhattan, ManhattanParams, MotionGroup,
-    RandomWaypoint, Vec2, WaypointParams,
+    RandomWaypoint, SpatialGrid, Vec2, WaypointParams,
 };
+
+/// Packs a bool activity slice into the `u64` bitmask form consumed by
+/// [`MobilityField::neighbors_within_bits`] (bit `i` set ⇔ `active[i]`).
+/// `out` is cleared and resized, so a warm caller never allocates.
+pub fn pack_active_bits(active: &[bool], out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(active.len().div_ceil(64), 0);
+    for (i, &a) in active.iter().enumerate() {
+        out[i >> 6] |= (a as u64) << (i & 63);
+    }
+}
 
 /// Which mobility model drives the hosts.
 ///
@@ -112,6 +132,39 @@ pub struct MobilityField {
     group_of: Vec<usize>,
     cache_t: Option<SimTime>,
     cache: Vec<Vec2>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Spatial index over `cache`, memoised per `(t, range)` exactly like
+    /// the position cache, so one broadcast (or one beacon round) builds
+    /// it once and every query after that is O(k). (Idle in `oracle`
+    /// builds, which route every query through the brute force.)
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    grid: SpatialGrid,
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    grid_key: Option<(SimTime, u64)>,
+    /// Bitset scratch: one bit per host, set for in-range candidates and
+    /// swept in ascending index order (cleared during the sweep). This is
+    /// how grid queries reproduce the brute-force output order without
+    /// sorting.
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    mask: Vec<u64>,
+    /// Last `(t, range)` key probed by a bool-mask neighbour query whose
+    /// grid was cold, with the number of linear scans served for it so
+    /// far. Building the index costs more than one brute scan, so the
+    /// first [`GRID_BUILD_AFTER`] cold queries at an instant are answered
+    /// by a direct scan (identical output order); only when an instant
+    /// proves query-dense does the grid get built.
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    probe_key: Option<(SimTime, u64)>,
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    probe_scans: u8,
+    /// BFS scratch for `reachable_within_hops` (reused).
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    bfs_dist: Vec<u32>,
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    bfs_frontier: Vec<u32>,
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    bfs_next: Vec<u32>,
 }
 
 impl MobilityField {
@@ -211,6 +264,16 @@ impl MobilityField {
             group_of,
             cache_t: None,
             cache: vec![Vec2::ZERO; n],
+            cache_hits: 0,
+            cache_misses: 0,
+            grid: SpatialGrid::new(),
+            grid_key: None,
+            probe_key: None,
+            probe_scans: 0,
+            mask: vec![0; n.div_ceil(64)],
+            bfs_dist: Vec::new(),
+            bfs_frontier: Vec::new(),
+            bfs_next: Vec::new(),
         }
     }
 
@@ -243,28 +306,360 @@ impl MobilityField {
         self.movers[i].position_at(&mut self.groups, t)
     }
 
+    /// Refreshes the per-instant position cache for `t`, counting hits and
+    /// misses (surfaced by [`MobilityField::cache_stats`]).
+    fn refresh_positions(&mut self, t: SimTime) {
+        if self.cache_t == Some(t) {
+            self.cache_hits += 1;
+            return;
+        }
+        self.cache_misses += 1;
+        for i in 0..self.movers.len() {
+            self.cache[i] = self.movers[i].position_at(&mut self.groups, t);
+        }
+        self.cache_t = Some(t);
+    }
+
     /// Positions of all hosts at `t`; cached so repeated queries at the same
     /// instant (one broadcast reaching many peers) cost one pass.
     pub fn positions_at(&mut self, t: SimTime) -> &[Vec2] {
-        if self.cache_t != Some(t) {
-            for i in 0..self.movers.len() {
-                self.cache[i] = self.movers[i].position_at(&mut self.groups, t);
-            }
-            self.cache_t = Some(t);
-        }
+        self.refresh_positions(t);
         &self.cache
     }
 
-    /// Euclidean distance between hosts `a` and `b` at `t`.
+    /// Position-cache hits and misses accumulated so far: every geometric
+    /// query at an instant the cache already covers is a hit; a miss pays
+    /// one full O(n) position pass.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// Position of host `i` at `t`, served from the memoised snapshot when
+    /// the cache already covers `t` (the common case inside one event) and
+    /// computed point-wise otherwise — never paying a full O(n) pass.
+    pub fn cached_position_at(&mut self, i: usize, t: SimTime) -> Vec2 {
+        if self.cache_t == Some(t) {
+            self.cache_hits += 1;
+            self.cache[i]
+        } else {
+            self.cache_misses += 1;
+            self.movers[i].position_at(&mut self.groups, t)
+        }
+    }
+
+    /// Euclidean distance between hosts `a` and `b` at `t` (via the
+    /// memoised position snapshot when warm).
     pub fn distance_at(&mut self, a: usize, b: usize, t: SimTime) -> f64 {
-        let pa = self.position_at(a, t);
-        let pb = self.position_at(b, t);
+        let pa = self.cached_position_at(a, t);
+        let pb = self.cached_position_at(b, t);
         pa.distance(pb)
+    }
+
+    /// Makes the spatial index current for `(t, range)`; like the position
+    /// cache, repeated queries at one instant reuse the build. The warm
+    /// case — both caches already at `(t, range)` — is a pair of inline
+    /// key compares with no call.
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    #[inline]
+    fn ensure_grid(&mut self, t: SimTime, range: f64) {
+        let key = (t, range.to_bits());
+        if self.cache_t == Some(t) && self.grid_key == Some(key) {
+            self.cache_hits += 1;
+            return;
+        }
+        self.ensure_grid_slow(t, range, key);
+    }
+
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    #[cold]
+    fn ensure_grid_slow(&mut self, t: SimTime, range: f64, key: (SimTime, u64)) {
+        self.refresh_positions(t);
+        if self.grid_key != Some(key) {
+            // Cell edge at half the range: the covered rectangle hugs the
+            // query disc tighter, cutting the candidate superset by ~30%
+            // versus edge == range for a handful more (contiguous) cells.
+            self.grid.rebuild(
+                &self.cache,
+                self.config.width,
+                self.config.height,
+                range * 0.5,
+            );
+            self.grid_key = Some(key);
+        }
+    }
+
+    /// Sizes the BFS scratch so frontiers (never more than n entries)
+    /// cannot grow mid-query — warm BFS calls are strictly
+    /// allocation-free.
+    #[cfg(not(feature = "oracle"))]
+    fn ensure_bfs_scratch(&mut self) {
+        let n = self.cache.len();
+        if self.bfs_frontier.capacity() < n {
+            self.bfs_frontier = Vec::with_capacity(n);
+        }
+        if self.bfs_next.capacity() < n {
+            self.bfs_next = Vec::with_capacity(n);
+        }
+    }
+
+    /// Sets the mask bit of every host within `range` of `p` (branchless:
+    /// every candidate's word is written, carrying a bit only on a hit).
+    /// Callers must sweep (and thereby clear) the mask to restore the
+    /// all-zero invariant.
+    #[cfg_attr(feature = "oracle", allow(dead_code))]
+    fn mark_in_range(mask: &mut [u64], grid: &SpatialGrid, p: Vec2, range: f64) {
+        let range_sq = range * range;
+        grid.for_each_slice(p, range, |idx, pos| {
+            // Copy the captures into locals so the mask stores below cannot
+            // force per-iteration reloads of loop-invariant values.
+            let (p, range_sq) = (p, range_sq);
+            for (q, &i) in pos.iter().zip(idx) {
+                let hit = p.distance_sq(*q) <= range_sq;
+                let i = i as usize;
+                mask[i >> 6] |= (hit as u64) << (i & 63);
+            }
+        });
     }
 
     /// Hosts within `range` metres of host `src` at `t` (excluding `src`
     /// itself), filtered by `active` (e.g. connected, powered-on hosts).
+    ///
+    /// Convenience wrapper over [`MobilityField::neighbors_within_into`]
+    /// that allocates the result; hot paths should pass their own reusable
+    /// buffer instead.
     pub fn neighbors_within(
+        &mut self,
+        src: usize,
+        range: f64,
+        t: SimTime,
+        active: &[bool],
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.neighbors_within_into(src, range, t, active, &mut out);
+        out
+    }
+
+    /// [`MobilityField::neighbors_within`] into a caller-supplied buffer
+    /// (cleared first). Grid-accelerated: candidates come from the 3×3
+    /// cell neighbourhood, sorted ascending before the exact range test,
+    /// so the output order is identical to a brute-force `0..n` scan. A
+    /// warm call performs no heap allocation.
+    pub fn neighbors_within_into(
+        &mut self,
+        src: usize,
+        range: f64,
+        t: SimTime,
+        active: &[bool],
+        out: &mut Vec<usize>,
+    ) {
+        #[cfg(feature = "oracle")]
+        {
+            let brute = self.neighbors_within_brute(src, range, t, active);
+            out.clear();
+            out.extend(brute);
+        }
+        #[cfg(not(feature = "oracle"))]
+        {
+            out.clear();
+            let key = (t, range.to_bits());
+            let warm = self.cache_t == Some(t) && self.grid_key == Some(key);
+            if !warm {
+                // Cold grid: a single query is served cheaper by one
+                // direct scan than by an index build. Only an instant
+                // that keeps asking (a beacon-adjacent burst) earns the
+                // build; the scan output order is identical either way.
+                if self.probe_key != Some(key) {
+                    self.probe_key = Some(key);
+                    self.probe_scans = 0;
+                }
+                if self.probe_scans < GRID_BUILD_AFTER {
+                    self.probe_scans += 1;
+                    self.refresh_positions(t);
+                    let p = self.cache[src];
+                    let range_sq = range * range;
+                    for (i, q) in self.cache.iter().enumerate() {
+                        if i != src && active[i] && p.distance_sq(*q) <= range_sq {
+                            out.push(i);
+                        }
+                    }
+                    return;
+                }
+            }
+            self.ensure_grid(t, range);
+            let p = self.cache[src];
+            Self::mark_in_range(&mut self.mask, &self.grid, p, range);
+            // `src` marks itself (distance zero); drop it before the sweep.
+            self.mask[src >> 6] &= !(1u64 << (src & 63));
+            // Sweeping set bits in word order visits hosts in ascending
+            // index order — exactly the brute-force scan order.
+            for (w, mw) in self.mask.iter_mut().enumerate() {
+                let mut m = *mw;
+                *mw = 0;
+                while m != 0 {
+                    let i = (w << 6) + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if active[i] {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`MobilityField::neighbors_within_into`] with the activity filter
+    /// given as a packed bitmask (bit `i` set ⇔ host `i` active) instead
+    /// of a bool slice. The per-hit activity test becomes one word-level
+    /// AND during the sweep, which is what makes a beacon round — n
+    /// queries against one activity snapshot — cheapest: the caller packs
+    /// the bits once per round with [`pack_active_bits`].
+    ///
+    /// Hosts at index ≥ `64 × active_bits.len()` are treated as inactive.
+    /// Output is identical to `neighbors_within_into` with the unpacked
+    /// mask — ascending host index, exactly the brute-force scan order —
+    /// but as `u32` so a CSR adjacency caller appends rows with a plain
+    /// `extend_from_slice`.
+    pub fn neighbors_within_bits(
+        &mut self,
+        src: usize,
+        range: f64,
+        t: SimTime,
+        active_bits: &[u64],
+        out: &mut Vec<u32>,
+    ) {
+        #[cfg(feature = "oracle")]
+        {
+            out.clear();
+            self.refresh_positions(t);
+            let p = self.cache[src];
+            let range_sq = range * range;
+            for (i, q) in self.cache.iter().enumerate() {
+                let active = active_bits
+                    .get(i >> 6)
+                    .is_some_and(|w| w >> (i & 63) & 1 == 1);
+                if i != src && active && p.distance_sq(*q) <= range_sq {
+                    out.push(i as u32);
+                }
+            }
+        }
+        #[cfg(not(feature = "oracle"))]
+        {
+            out.clear();
+            self.ensure_grid(t, range);
+            let p = self.cache[src];
+            Self::mark_in_range(&mut self.mask, &self.grid, p, range);
+            // `src` marks itself (distance zero); drop it before the sweep.
+            self.mask[src >> 6] &= !(1u64 << (src & 63));
+            // Word-wise AND applies the activity filter to 64 hosts at a
+            // time; the zip truncates at the shorter side, so any tail
+            // hosts without an activity word stay unreported (inactive).
+            for (w, (mw, &aw)) in self.mask.iter_mut().zip(active_bits).enumerate() {
+                let mut m = *mw & aw;
+                *mw = 0;
+                let base = (w as u32) << 6;
+                while m != 0 {
+                    let i = base + m.trailing_zeros();
+                    m &= m - 1;
+                    out.push(i);
+                }
+            }
+            // Hosts beyond `active_bits` (zip-truncated) still hold marks.
+            for mw in self.mask.iter_mut().skip(active_bits.len()) {
+                *mw = 0;
+            }
+        }
+    }
+
+    /// All hosts reachable from `src` within `hops` broadcast hops of
+    /// `range` metres each, with the hop count at which each is first
+    /// reached. Breadth-first over the geometric graph induced by `active`
+    /// hosts. `src` itself is excluded.
+    ///
+    /// Convenience wrapper over
+    /// [`MobilityField::reachable_within_hops_into`].
+    pub fn reachable_within_hops(
+        &mut self,
+        src: usize,
+        range: f64,
+        hops: u32,
+        t: SimTime,
+        active: &[bool],
+    ) -> Vec<(usize, u32)> {
+        let mut out = Vec::new();
+        self.reachable_within_hops_into(src, range, hops, t, active, &mut out);
+        out
+    }
+
+    /// [`MobilityField::reachable_within_hops`] into a caller-supplied
+    /// buffer (cleared first). Grid-accelerated BFS expanding each frontier
+    /// host's cell neighbourhood in ascending index order — the discovery
+    /// order (and therefore the output) is identical to the brute-force
+    /// scan. Scratch buffers (`dist`, frontier) live in the field, and the
+    /// positions are borrowed from the memoised cache, never cloned.
+    pub fn reachable_within_hops_into(
+        &mut self,
+        src: usize,
+        range: f64,
+        hops: u32,
+        t: SimTime,
+        active: &[bool],
+        out: &mut Vec<(usize, u32)>,
+    ) {
+        #[cfg(feature = "oracle")]
+        {
+            let brute = self.reachable_within_hops_brute(src, range, hops, t, active);
+            out.clear();
+            out.extend(brute);
+        }
+        #[cfg(not(feature = "oracle"))]
+        {
+            out.clear();
+            self.ensure_grid(t, range);
+            self.ensure_bfs_scratch();
+            let n = self.cache.len();
+            self.bfs_dist.clear();
+            self.bfs_dist.resize(n, u32::MAX);
+            self.bfs_dist[src] = 0;
+            let mut frontier = std::mem::take(&mut self.bfs_frontier);
+            let mut next = std::mem::take(&mut self.bfs_next);
+            frontier.clear();
+            frontier.push(src as u32);
+            for hop in 1..=hops {
+                next.clear();
+                for &u in &frontier {
+                    let pu = self.cache[u as usize];
+                    Self::mark_in_range(&mut self.mask, &self.grid, pu, range);
+                    // The ascending sweep visits this node's candidates in
+                    // brute-scan order; visited nodes (including `u`
+                    // itself) fail the distance-unset test, so discovery
+                    // order and hop labels match the brute BFS exactly.
+                    for w in 0..self.mask.len() {
+                        let mut m = self.mask[w];
+                        self.mask[w] = 0;
+                        while m != 0 {
+                            let v = (w << 6) + m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            if self.bfs_dist[v] == u32::MAX && active[v] {
+                                self.bfs_dist[v] = hop;
+                                next.push(v as u32);
+                                out.push((v, hop));
+                            }
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            self.bfs_frontier = frontier;
+            self.bfs_next = next;
+        }
+    }
+
+    /// Brute-force O(n) reference for [`MobilityField::neighbors_within`]:
+    /// the pre-grid implementation, kept as the differential-testing oracle
+    /// (and as the active implementation under the `oracle` feature).
+    pub fn neighbors_within_brute(
         &mut self,
         src: usize,
         range: f64,
@@ -282,11 +677,11 @@ impl MobilityField {
             .collect()
     }
 
-    /// All hosts reachable from `src` within `hops` broadcast hops of
-    /// `range` metres each, with the hop count at which each is first
-    /// reached. Breadth-first over the geometric graph induced by `active`
-    /// hosts. `src` itself is excluded.
-    pub fn reachable_within_hops(
+    /// Brute-force O(frontier·n) reference for
+    /// [`MobilityField::reachable_within_hops`]: the pre-grid
+    /// implementation, kept as the differential-testing oracle (and as the
+    /// active implementation under the `oracle` feature).
+    pub fn reachable_within_hops_brute(
         &mut self,
         src: usize,
         range: f64,

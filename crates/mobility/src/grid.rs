@@ -1,0 +1,280 @@
+//! A uniform bucket grid over host positions, accelerating the geometric
+//! neighbourhood queries from O(n) per query to O(k) (k = hosts in the
+//! 3×3 cell neighbourhood of the query disc).
+//!
+//! The cell edge is sized to the query's transmission range, so a range
+//! query only has to inspect the cells overlapping the disc's bounding
+//! box — with edge ≥ range that is at most a 3×3 block. Results are
+//! **order-deterministic**: [`SpatialGrid::candidates_into`] returns
+//! candidate indices sorted ascending, so a caller that range-tests them
+//! in order produces exactly the output of a brute-force `0..n` scan.
+//!
+//! The grid is a CSR-style layout (`starts` offsets into one `entries`
+//! array) rebuilt by counting sort. Rebuilds and queries reuse the same
+//! buffers, so after warm-up neither path touches the allocator.
+
+use crate::Vec2;
+
+/// A uniform grid partitioning `[0, width] × [0, height]` into
+/// `cols × rows` buckets of host indices.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_mobility::{SpatialGrid, Vec2};
+///
+/// let positions = [Vec2::new(10.0, 10.0), Vec2::new(12.0, 10.0), Vec2::new(900.0, 900.0)];
+/// let mut grid = SpatialGrid::new();
+/// grid.rebuild(&positions, 1000.0, 1000.0, 100.0);
+/// let mut candidates = Vec::new();
+/// grid.candidates_into(positions[0], 100.0, &mut candidates);
+/// assert!(candidates.contains(&0) && candidates.contains(&1));
+/// assert!(!candidates.contains(&2), "far corner is outside the query cells");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpatialGrid {
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// Reciprocals of the cell edges: cell lookup is a multiply, not a
+    /// divide (hot in both rebuild and every query).
+    inv_cell_w: f64,
+    inv_cell_h: f64,
+    /// CSR offsets: cell `c` holds `entries[starts[c]..starts[c + 1]]`.
+    starts: Vec<u32>,
+    /// Host indices, ascending within each cell (counting sort preserves
+    /// insertion order, and hosts are inserted in index order).
+    entries: Vec<u32>,
+    /// Positions in cell order, parallel to `entries`, so a range filter
+    /// walks memory sequentially instead of gathering through `entries`.
+    positions: Vec<Vec2>,
+    /// Fill cursor per cell during a rebuild.
+    cursor: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid; call [`SpatialGrid::rebuild`] before
+    /// querying.
+    pub fn new() -> Self {
+        SpatialGrid::default()
+    }
+
+    /// Rebuilds the grid over `positions` in the `width × height` field,
+    /// aiming for a cell edge of `cell_target` (the query range). The cell
+    /// count is capped relative to the population so sparse fields with a
+    /// tiny range cannot blow up the bucket array; the actual edge is then
+    /// at least `cell_target`, never more cells than useful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` positions are given.
+    pub fn rebuild(&mut self, positions: &[Vec2], width: f64, height: f64, cell_target: f64) {
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "host count exceeds u32");
+        // More cells than ~4n buys nothing: most would be empty.
+        let max_dim = (((4 * n + 64) as f64).sqrt() as usize).max(1);
+        let dim = |extent: f64| -> usize {
+            if cell_target <= 0.0 || !cell_target.is_finite() {
+                return 1;
+            }
+            ((extent / cell_target) as usize).clamp(1, max_dim)
+        };
+        self.cols = dim(width);
+        self.rows = dim(height);
+        self.cell_w = width / self.cols as f64;
+        self.cell_h = height / self.rows as f64;
+        self.inv_cell_w = self.cell_w.recip();
+        self.inv_cell_h = self.cell_h.recip();
+        let cells = self.cols * self.rows;
+        self.starts.clear();
+        self.starts.resize(cells + 1, 0);
+        for p in positions {
+            let c = self.cell_of(*p);
+            self.starts[c + 1] += 1;
+        }
+        for c in 0..cells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..cells]);
+        self.entries.clear();
+        self.entries.resize(n, 0);
+        self.positions.clear();
+        self.positions.resize(n, Vec2::ZERO);
+        for (i, p) in positions.iter().enumerate() {
+            let c = self.cell_of(*p);
+            let slot = self.cursor[c] as usize;
+            self.entries[slot] = i as u32;
+            self.positions[slot] = *p;
+            self.cursor[c] += 1;
+        }
+    }
+
+    /// The bucket index of position `p` (out-of-field positions clamp to
+    /// the border cells).
+    fn cell_of(&self, p: Vec2) -> usize {
+        let cx = ((p.x * self.inv_cell_w) as usize).min(self.cols - 1);
+        let cy = ((p.y * self.inv_cell_h) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Collects into `out` every host index whose cell overlaps the disc
+    /// of `range` around `p`, **sorted ascending**. The result is a
+    /// superset of the hosts within `range`; the caller applies the exact
+    /// distance test. `out` is cleared first and reused, so a warm caller
+    /// never allocates.
+    pub fn candidates_into(&self, p: Vec2, range: f64, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_each_slice(p, range, |idx, _| out.extend_from_slice(idx));
+        out.sort_unstable();
+    }
+
+    /// Calls `f` once per grid row overlapping the disc of `range` around
+    /// `p`, with that row's covered `(host indices, positions)` slices.
+    /// Cells of one row are contiguous in CSR order, so each row is a
+    /// single pair of slices; a filtering caller reads the positions
+    /// sequentially and sorts only the survivors.
+    pub fn for_each_slice<F: FnMut(&[u32], &[Vec2])>(&self, p: Vec2, range: f64, mut f: F) {
+        // Clamping in f64 before the cast lets the compiler drop the
+        // saturating-cast fix-up sequence (the value is provably in range).
+        let lo = |v: f64, inv: f64, max: usize| (v * inv).clamp(0.0, max as f64) as usize;
+        let x0 = lo(p.x - range, self.inv_cell_w, self.cols - 1);
+        let x1 = lo(p.x + range, self.inv_cell_w, self.cols - 1);
+        let y0 = lo(p.y - range, self.inv_cell_h, self.rows - 1);
+        let y1 = lo(p.y + range, self.inv_cell_h, self.rows - 1);
+        for cy in y0..=y1 {
+            let row = cy * self.cols;
+            let a = self.starts[row + x0] as usize;
+            let b = self.starts[row + x1 + 1] as usize;
+            f(&self.entries[a..b], &self.positions[a..b]);
+        }
+    }
+
+    /// Grid dimensions `(cols, rows)` of the last rebuild.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Number of indexed hosts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the grid holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(positions: &[Vec2], p: Vec2, range: f64) -> Vec<u32> {
+        positions
+            .iter()
+            .enumerate()
+            .filter(|&(_, q)| p.distance_sq(*q) <= range * range)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn filtered(grid: &SpatialGrid, positions: &[Vec2], p: Vec2, range: f64) -> Vec<u32> {
+        let mut cand = Vec::new();
+        grid.candidates_into(p, range, &mut cand);
+        cand.retain(|&i| p.distance_sq(positions[i as usize]) <= range * range);
+        cand
+    }
+
+    #[test]
+    fn candidates_cover_exact_range_hits() {
+        // A pair at exactly `range` apart must survive the filter.
+        let positions = [Vec2::new(100.0, 100.0), Vec2::new(200.0, 100.0)];
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&positions, 1000.0, 1000.0, 100.0);
+        assert_eq!(filtered(&grid, &positions, positions[0], 100.0), vec![0, 1]);
+        assert_eq!(
+            filtered(&grid, &positions, positions[0], 99.999),
+            vec![0],
+            "just under range excludes the partner"
+        );
+    }
+
+    #[test]
+    fn edge_and_corner_cells_are_found() {
+        let positions = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1000.0, 0.0),
+            Vec2::new(0.0, 1000.0),
+            Vec2::new(1000.0, 1000.0),
+            Vec2::new(500.0, 500.0),
+        ];
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&positions, 1000.0, 1000.0, 100.0);
+        for (i, &p) in positions.iter().enumerate() {
+            let got = filtered(&grid, &positions, p, 50.0);
+            assert_eq!(got, vec![i as u32], "host {i} finds exactly itself");
+        }
+        // A disc reaching past the border clamps instead of panicking.
+        assert_eq!(
+            filtered(&grid, &positions, Vec2::new(0.0, 0.0), 2000.0),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_lattice() {
+        let mut positions = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                positions.push(Vec2::new(i as f64 * 50.0 + 3.0, j as f64 * 50.0 + 7.0));
+            }
+        }
+        let mut grid = SpatialGrid::new();
+        for range in [10.0, 75.0, 160.0, 400.0] {
+            grid.rebuild(&positions, 1000.0, 1000.0, range);
+            for &src in &[0usize, 19, 210, 399] {
+                let p = positions[src];
+                assert_eq!(
+                    filtered(&grid, &positions, p, range),
+                    brute(&positions, p, range),
+                    "range {range} src {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_fall_back_to_one_cell() {
+        let positions = [Vec2::new(1.0, 1.0), Vec2::new(999.0, 999.0)];
+        let mut grid = SpatialGrid::new();
+        for range in [0.0, -5.0, f64::INFINITY, f64::NAN] {
+            grid.rebuild(&positions, 1000.0, 1000.0, range);
+            assert_eq!(grid.dims(), (1, 1), "cell target {range}");
+            let mut cand = Vec::new();
+            grid.candidates_into(positions[0], 1e9, &mut cand);
+            assert_eq!(cand, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_without_allocating() {
+        let positions: Vec<Vec2> = (0..64)
+            .map(|i| Vec2::new((i % 8) as f64 * 100.0, (i / 8) as f64 * 100.0))
+            .collect();
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&positions, 1000.0, 1000.0, 100.0);
+        let mut cand = Vec::new();
+        grid.candidates_into(positions[33], 100.0, &mut cand); // warm-up
+        let caps = (grid.starts.capacity(), grid.entries.capacity());
+        let cand_cap = cand.capacity();
+        for _ in 0..10 {
+            grid.rebuild(&positions, 1000.0, 1000.0, 100.0);
+            grid.candidates_into(positions[33], 100.0, &mut cand);
+            grid.candidates_into(positions[0], 100.0, &mut cand);
+        }
+        assert_eq!((grid.starts.capacity(), grid.entries.capacity()), caps);
+        assert_eq!(cand.capacity(), cand_cap);
+    }
+}

@@ -27,13 +27,15 @@
 
 mod field;
 mod gauss_markov;
+mod grid;
 mod manhattan;
 mod rpgm;
 mod vec2;
 mod waypoint;
 
-pub use field::{FieldConfig, MobilityField, MotionModel};
+pub use field::{pack_active_bits, FieldConfig, MobilityField, MotionModel};
 pub use gauss_markov::{GaussMarkov, GaussMarkovParams};
+pub use grid::SpatialGrid;
 pub use manhattan::{Manhattan, ManhattanParams};
 pub use rpgm::{GroupParams, MotionGroup};
 pub use vec2::Vec2;

@@ -34,6 +34,8 @@ pub enum LinkEvent {
     Down(usize, usize),
 }
 
+use std::collections::BTreeSet;
+
 /// The beacon-maintained pairwise link table.
 ///
 /// # Examples
@@ -61,6 +63,10 @@ pub struct Ndp {
     config: NdpConfig,
     linked: Vec<bool>,
     missed: Vec<u32>,
+    /// The pairs `(a, b)` with `a < b` currently linked — the sparse
+    /// mirror of `linked`, letting a beacon round age links in O(links)
+    /// instead of scanning all n(n−1)/2 pairs.
+    up: BTreeSet<(u32, u32)>,
 }
 
 impl Ndp {
@@ -78,6 +84,7 @@ impl Ndp {
             config,
             linked: vec![false; pairs],
             missed: vec![0; pairs],
+            up: BTreeSet::new(),
         }
     }
 
@@ -122,6 +129,7 @@ impl Ndp {
                     self.missed[idx] = 0;
                     if !self.linked[idx] {
                         self.linked[idx] = true;
+                        self.up.insert((a as u32, b as u32));
                         events.push(LinkEvent::Up(a, b));
                     }
                 } else if self.linked[idx] {
@@ -129,9 +137,97 @@ impl Ndp {
                     if self.missed[idx] >= self.config.miss_threshold {
                         self.linked[idx] = false;
                         self.missed[idx] = 0;
+                        self.up.remove(&(a as u32, b as u32));
                         events.push(LinkEvent::Down(a, b));
                     }
                 }
+            }
+        }
+        events
+    }
+
+    /// [`Ndp::beacon_round`] fed by precomputed adjacency instead of an
+    /// all-pairs oracle: row `a` is `neighbors[starts[a]..starts[a + 1]]`,
+    /// the **ascending** indices of the active hosts host `a` currently
+    /// hears (e.g. from a spatial-grid query). Rows must be symmetric.
+    ///
+    /// Heard pairs are walked straight off the rows — O(Σ row lengths) —
+    /// and unheard links age via the sparse up-link set — O(links·log k) —
+    /// so a round never touches all n(n−1)/2 pairs. The returned events
+    /// (and the resulting table state) are exactly those of the dense
+    /// [`Ndp::beacon_round`] over the same reachability relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` does not describe one row per host or `active`
+    /// is shorter than the host count.
+    pub fn beacon_round_adjacency(
+        &mut self,
+        starts: &[usize],
+        neighbors: &[u32],
+        active: &[bool],
+    ) -> Vec<LinkEvent> {
+        assert_eq!(starts.len(), self.n + 1, "need one adjacency row per host");
+        assert!(active.len() >= self.n, "active mask too short");
+        let row = |a: usize| &neighbors[starts[a]..starts[a + 1]];
+        // Heard pairs: reset the miss counter, collect fresh links. `a`
+        // ascending and rows ascending make `ups` pair-ordered.
+        let mut ups: Vec<(u32, u32)> = Vec::new();
+        for a in 0..self.n {
+            if !active[a] {
+                continue;
+            }
+            for &b in row(a) {
+                let bu = b as usize;
+                if bu <= a || !active[bu] {
+                    continue;
+                }
+                let idx = self.pair_index(a, bu);
+                self.missed[idx] = 0;
+                if !self.linked[idx] {
+                    ups.push((a as u32, b));
+                }
+            }
+        }
+        // Established links not heard this round age toward failure.
+        let mut downs: Vec<(u32, u32)> = Vec::new();
+        for &(a, b) in &self.up {
+            let (au, bu) = (a as usize, b as usize);
+            let heard = active[au] && active[bu] && row(au).binary_search(&b).is_ok();
+            if heard {
+                continue;
+            }
+            let idx = self.pair_index(au, bu);
+            self.missed[idx] += 1;
+            if self.missed[idx] >= self.config.miss_threshold {
+                self.missed[idx] = 0;
+                downs.push((a, b));
+            }
+        }
+        for &(a, b) in &ups {
+            let idx = self.pair_index(a as usize, b as usize);
+            self.linked[idx] = true;
+            self.up.insert((a, b));
+        }
+        for &(a, b) in &downs {
+            let idx = self.pair_index(a as usize, b as usize);
+            self.linked[idx] = false;
+            self.up.remove(&(a, b));
+        }
+        // Merge the two pair-ordered streams so events come out in the
+        // dense round's pair order.
+        let mut events = Vec::with_capacity(ups.len() + downs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < ups.len() || j < downs.len() {
+            let take_up = j >= downs.len() || (i < ups.len() && ups[i] < downs[j]);
+            if take_up {
+                let (a, b) = ups[i];
+                events.push(LinkEvent::Up(a as usize, b as usize));
+                i += 1;
+            } else {
+                let (a, b) = downs[j];
+                events.push(LinkEvent::Down(a as usize, b as usize));
+                j += 1;
             }
         }
         events
@@ -194,6 +290,7 @@ impl Ndp {
     pub fn clear(&mut self) {
         self.linked.fill(false);
         self.missed.fill(0);
+        self.up.clear();
     }
 }
 
@@ -281,6 +378,47 @@ mod tests {
         ndp.beacon_round(|_, _| true, &all_active(3));
         ndp.clear();
         assert_eq!(ndp.link_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_round_matches_dense_round() {
+        let n = 12;
+        let mut dense = Ndp::new(n, NdpConfig { miss_threshold: 2 });
+        let mut sparse = dense.clone();
+        // Deterministic pseudo-random reachability and activity per round.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..50 {
+            let bits: Vec<u64> = (0..n).map(|_| next()).collect();
+            let active: Vec<bool> = (0..n).map(|i| !bits[i].is_multiple_of(5)).collect();
+            let in_range = |a: usize, b: usize| (bits[a] ^ bits[b]).is_multiple_of(3);
+            // Symmetric ascending adjacency of the same relation, already
+            // filtered by `active` as a grid query would be.
+            let mut starts = vec![0usize];
+            let mut nbrs: Vec<u32> = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    if a != b && active[a] && active[b] && in_range(lo, hi) {
+                        nbrs.push(b as u32);
+                    }
+                }
+                starts.push(nbrs.len());
+            }
+            let ev_dense = dense.beacon_round(in_range, &active);
+            let ev_sparse = sparse.beacon_round_adjacency(&starts, &nbrs, &active);
+            assert_eq!(ev_dense, ev_sparse, "round {round}");
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(dense.is_linked(a, b), sparse.is_linked(a, b));
+                }
+            }
+        }
     }
 
     #[test]
