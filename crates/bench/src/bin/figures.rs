@@ -16,7 +16,7 @@ fn main() -> ExitCode {
     let mut ran = 0;
 
     type Figure = fn() -> Vec<grococa_bench::SweepPoint>;
-    let figures: [(&str, Figure); 7] = [
+    let figures: [(&str, Figure); 8] = [
         ("fig2", grococa_bench::fig2_cache_size),
         ("fig3", grococa_bench::fig3_skewness),
         ("fig4", grococa_bench::fig4_access_range),
@@ -24,6 +24,7 @@ fn main() -> ExitCode {
         ("fig6", grococa_bench::fig6_update_rate),
         ("fig7", grococa_bench::fig7_num_clients),
         ("fig8", grococa_bench::fig8_disconnection),
+        ("fig8loss", grococa_bench::fig8_loss_rate),
     ];
     let jobs = grococa_par::jobs_from_env();
     for (name, run) in figures {
@@ -56,7 +57,7 @@ fn main() -> ExitCode {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("unknown figure(s) {args:?}; expected fig2..fig8 or ablations");
+        eprintln!("unknown figure(s) {args:?}; expected fig2..fig8, fig8loss or ablations");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

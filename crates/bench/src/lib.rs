@@ -352,6 +352,22 @@ pub fn fig8_disconnection() -> Vec<SweepPoint> {
     points
 }
 
+/// Figure 8L (extension) — effect of peer-link message loss, via the
+/// fault-injection layer. As the P2P channel degrades, the cooperative
+/// schemes' hardened protocols (bounded retries, server fallback, solo
+/// mode) degrade them gracefully toward conventional caching; at 100%
+/// loss all three schemes should be near-indistinguishable in latency.
+pub fn fig8_loss_rate() -> Vec<SweepPoint> {
+    let xs = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+    let points = run_sweep(&xs, |scheme, x| {
+        let mut cfg = base_config(scheme);
+        cfg.faults.p2p_loss = x;
+        cfg
+    });
+    print_four_panels("Figure 8L", "P2P message loss", &points);
+    points
+}
+
 // ----------------------------------------------------------------------
 // Ablations (beyond the paper)
 // ----------------------------------------------------------------------
@@ -588,7 +604,9 @@ mod tests {
     #[test]
     fn base_config_honours_scale_env() {
         // Whatever the env, the constructor must produce a valid config.
-        base_config(Scheme::Coca).validate();
+        base_config(Scheme::Coca)
+            .validate()
+            .expect("base config must be valid");
         assert!(requests_per_mh() >= 300);
         assert!(seeds_per_point() >= 1);
     }
@@ -641,6 +659,29 @@ mod tests {
         b.completed = 2;
         c.completed = 2;
         assert_eq!(mean_reports(&[a, b, c]).completed, 2);
+    }
+
+    #[test]
+    fn faulty_sweeps_are_deterministic_across_worker_counts() {
+        // The fault stream must be replay-identical whatever the worker
+        // count: each cell owns its own substream, so fanning the grid
+        // out cannot change what any single run draws.
+        let configure = |scheme: Scheme, x: f64| {
+            let mut cfg = SimConfig {
+                num_clients: 16,
+                requests_per_mh: 30,
+                ..SimConfig::for_scheme(scheme)
+            };
+            cfg.faults = grococa_core::FaultPlan::profile("chaos").expect("named profile");
+            cfg.faults.p2p_loss = x;
+            cfg
+        };
+        let xs = [0.1, 0.5];
+        let serial = run_sweep_with_jobs(&xs, 1, configure);
+        let parallel = run_sweep_with_jobs(&xs, 4, configure);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.reports, p.reports, "x = {}", s.x);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use grococa_core::{DataDelivery, ReplacementPolicy, Scheme, SimConfig};
+use grococa_core::{DataDelivery, FaultPlan, ReplacementPolicy, Scheme, SimConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone)]
@@ -81,6 +81,8 @@ OPTIONS (all optional; defaults are the paper's Table II):
     --delta-similarity X       TCG similarity threshold δ[default: 0.05]
     --hybrid-slots N           enable push channel with N hot slots
     --low-activity X           fraction of low-activity hosts    [default: 0]
+    --faults PROFILE           fault injection: none|lossy|flaky|outage|chaos
+                               [default: none]
     --delegate-singlets        delegate singlet evictions to low-activity TCG members
     --ndp-tables               use NDP link tables instead of geometry
     --account-beacons          meter NDP beacon power
@@ -139,6 +141,15 @@ fn apply_flag(cfg: &mut SimConfig, flag: &str, value: Option<&str>) -> Result<bo
             }
         }
         "--low-activity" => cfg.low_activity_fraction = parse(flag, value)?,
+        "--faults" => {
+            let name = parse::<String>(flag, value)?;
+            cfg.faults = FaultPlan::profile(&name).ok_or_else(|| {
+                err(format!(
+                    "unknown fault profile {name:?} (one of: {})",
+                    FaultPlan::PROFILE_NAMES.join("|")
+                ))
+            })?;
+        }
         "--delegate-singlets" => {
             cfg.delegate_singlets = true;
             return Ok(false);
@@ -345,6 +356,26 @@ mod tests {
         assert!(parse_args(&argv("explode")).is_err());
         assert!(parse_args(&argv("run --clients")).is_err());
         assert!(parse_args(&argv("run --clients nine")).is_err());
+    }
+
+    #[test]
+    fn faults_flag_selects_a_profile() {
+        let cli = parse_args(&argv("run --faults chaos --clients 9")).unwrap();
+        match cli.command {
+            Command::Run(cfg) => {
+                assert!(cfg.faults.active());
+                assert_eq!(cfg.faults.p2p_loss, 0.25);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let none = parse_args(&argv("run --faults none")).unwrap();
+        match none.command {
+            Command::Run(cfg) => assert!(!cfg.faults.active()),
+            other => panic!("wrong command {other:?}"),
+        }
+        let e = parse_args(&argv("run --faults mayhem")).unwrap_err();
+        assert!(e.to_string().contains("mayhem"));
+        assert!(e.to_string().contains("chaos"));
     }
 
     #[test]

@@ -8,18 +8,60 @@
 pub mod args;
 pub mod output;
 
-use grococa_core::{Scheme, Simulation};
+use std::fmt;
+
+use grococa_core::{ConfigError, Scheme, Simulation};
 
 use args::{apply_sweep_value, ArgError, Cli, Command};
 use output::Row;
+
+/// Everything that can go wrong executing a command line. The binary maps
+/// the two variants to distinct exit codes (1 for usage mistakes, 2 for
+/// semantically invalid configurations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Args(ArgError),
+    /// The arguments parsed but describe an invalid simulation
+    /// configuration (caught by [`grococa_core::SimConfig::validate`]
+    /// before any simulation is built).
+    Config(ConfigError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
 
 /// Executes a parsed command line, returning the rendered output (the
 /// binary prints it; tests inspect it).
 ///
 /// # Errors
 ///
-/// Returns an [`ArgError`] if a sweep value is invalid for its parameter.
-pub fn execute(cli: &Cli) -> Result<String, ArgError> {
+/// Returns [`CliError::Args`] if a sweep value is invalid for its
+/// parameter, and [`CliError::Config`] if any resulting configuration
+/// fails validation — every config is validated before a simulation is
+/// constructed, so a bad cell in a sweep fails fast instead of panicking
+/// mid-grid.
+pub fn execute(cli: &Cli) -> Result<String, CliError> {
     let render = |rows: &[Row]| {
         if cli.csv {
             output::to_csv(rows)
@@ -30,6 +72,7 @@ pub fn execute(cli: &Cli) -> Result<String, ArgError> {
     match &cli.command {
         Command::Help => Ok(args::USAGE.to_string()),
         Command::Run(cfg) => {
+            cfg.validate()?;
             let report = Simulation::new((**cfg).clone()).run().report;
             Ok(render(&[Row {
                 scheme: cfg.scheme,
@@ -38,6 +81,7 @@ pub fn execute(cli: &Cli) -> Result<String, ArgError> {
             }]))
         }
         Command::Compare(cfg) => {
+            cfg.validate()?;
             let rows: Vec<Row> = [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca]
                 .into_iter()
                 .map(|scheme| {
@@ -57,19 +101,26 @@ pub fn execute(cli: &Cli) -> Result<String, ArgError> {
             param,
             values,
         } => {
-            let mut rows = Vec::new();
+            // Validate the whole grid up front: a bad cell aborts before
+            // any simulation time is spent.
+            let mut cells = Vec::new();
             for &x in values {
                 for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
                     let mut c = (**base).clone();
                     c.scheme = scheme;
                     apply_sweep_value(&mut c, param, x)?;
-                    rows.push(Row {
-                        scheme,
-                        x: Some(x),
-                        report: Simulation::new(c).run().report,
-                    });
+                    c.validate()?;
+                    cells.push((x, scheme, c));
                 }
             }
+            let rows: Vec<Row> = cells
+                .into_iter()
+                .map(|(x, scheme, c)| Row {
+                    scheme,
+                    x: Some(x),
+                    report: Simulation::new(c).run().report,
+                })
+                .collect();
             Ok(render(&rows))
         }
     }
@@ -119,5 +170,33 @@ mod tests {
         let a = run("run --clients 10 --requests 15 --seed 3 --csv");
         let b = run("run --clients 10 --requests 15 --seed 3 --csv");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_profiles_run_end_to_end() {
+        let out = run("run --clients 10 --requests 15 --faults lossy --csv");
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_config_errors_not_panics() {
+        let argv: Vec<String> = "run --clients 0"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = execute(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "got: {err:?}");
+        assert!(err.to_string().contains("at least one client"));
+    }
+
+    #[test]
+    fn invalid_sweep_cell_fails_before_running() {
+        // p_disc = 1.5 parses as an argument but is semantically invalid.
+        let argv: Vec<String> = "sweep --param p_disc --values 0.1,1.5 --clients 10 --requests 15"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let err = execute(&parse_args(&argv).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "got: {err:?}");
     }
 }

@@ -20,7 +20,13 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            match e {
+                // Usage mistakes exit 1; configurations that parsed but
+                // failed semantic validation exit 2, so scripts can tell
+                // a typo from a bad parameter combination.
+                grococa_cli::CliError::Args(_) => ExitCode::FAILURE,
+                grococa_cli::CliError::Config(_) => ExitCode::from(2),
+            }
         }
     }
 }

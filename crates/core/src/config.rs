@@ -10,6 +10,8 @@ use grococa_net::MessageSizes;
 use grococa_power::PowerModel;
 use grococa_sim::SimTime;
 
+use crate::fault::{ConfigError, FaultPlan, RetryPolicy};
+
 /// Which caching scheme a run simulates (the paper's CC / COCA / GC
 /// series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -250,6 +252,19 @@ pub struct SimConfig {
     /// Beacon rounds a known NDP link may miss before it is declared
     /// failed.
     pub ndp_miss_threshold: u32,
+
+    // --- fault injection (extension) ------------------------------------
+    /// The fault-injection plan. Inert by default; see
+    /// [`FaultPlan::active`] for the determinism contract.
+    pub faults: FaultPlan,
+    /// Retry/backoff bounds for the hardened protocol paths. Consulted
+    /// only when `faults` is active.
+    pub retry: RetryPolicy,
+    /// Optional wall on simulated time: when set, the run stops once the
+    /// clock passes this many seconds and the invariant auditor reports
+    /// the run as hung if the completion target was not met. `None`
+    /// (the default) runs the event loop exactly as before.
+    pub hang_deadline_secs: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -306,6 +321,9 @@ impl Default for SimConfig {
             beacon_period_secs: 1.0,
             ndp_tables: false,
             ndp_miss_threshold: 3,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+            hang_deadline_secs: None,
         }
     }
 }
@@ -328,48 +346,58 @@ impl SimConfig {
         SimTime::from_secs_f64(secs * self.phi_initial)
     }
 
-    /// Validates cross-field invariants.
+    /// Validates cross-field invariants, returning the first violation.
     ///
-    /// # Panics
-    ///
-    /// Panics with a description of the first violated invariant.
-    pub fn validate(&self) {
-        assert!(self.num_clients > 0, "need at least one client");
-        assert!(self.group_size > 0, "group size must be positive");
-        assert!(self.n_data > 0, "database must be non-empty");
-        assert!(
+    /// The error messages are the same strings the old panicking
+    /// validator used; [`SimConfig::validate_or_panic`] re-raises them
+    /// for callers (mostly tests) that still want a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        macro_rules! ensure {
+            // Matching on the bool (rather than `if !cond`) keeps clippy's
+            // neg_cmp_op_on_partial_ord out of float-comparison call sites.
+            ($cond:expr, $msg:expr) => {
+                match $cond {
+                    true => {}
+                    false => return Err(ConfigError($msg.to_string())),
+                }
+            };
+        }
+        ensure!(self.num_clients > 0, "need at least one client");
+        ensure!(self.group_size > 0, "group size must be positive");
+        ensure!(self.n_data > 0, "database must be non-empty");
+        ensure!(
             (1..=self.n_data).contains(&self.access_range),
             "access range must lie in 1..=NData"
         );
-        assert!(self.cache_size > 0, "cache must hold at least one item");
-        assert!(self.theta >= 0.0, "Zipf skew must be non-negative");
-        assert!(self.hop_dist > 0, "HopDist must be at least 1");
-        assert!(
+        ensure!(self.cache_size > 0, "cache must hold at least one item");
+        ensure!(self.theta >= 0.0, "Zipf skew must be non-negative");
+        ensure!(self.hop_dist > 0, "HopDist must be at least 1");
+        ensure!(
             (0.0..=1.0).contains(&self.p_disc),
             "disconnection probability must lie in [0, 1]"
         );
-        assert!(
+        ensure!(
             (0.0..=1.0).contains(&self.omega) && (0.0..=1.0).contains(&self.alpha),
             "EWMA weights must lie in [0, 1]"
         );
-        assert!(
+        ensure!(
             (0.0..=1.0).contains(&self.rho_p),
             "rho_p must lie in [0, 1]"
         );
-        assert!(
+        ensure!(
             (0.0..=1.0).contains(&self.low_activity_fraction),
             "low-activity fraction must lie in [0, 1]"
         );
-        assert!(
+        ensure!(
             self.low_activity_slowdown >= 1.0,
             "low-activity slowdown must be at least 1"
         );
-        assert!(
+        ensure!(
             self.sigma > 0 && self.bloom_k > 0,
             "bloom geometry must be positive"
         );
-        assert!(self.requests_per_mh > 0, "must record at least one request");
-        assert!(
+        ensure!(self.requests_per_mh > 0, "must record at least one request");
+        ensure!(
             self.replace_candidate > 0,
             "need at least one replacement candidate"
         );
@@ -380,22 +408,81 @@ impl SimConfig {
             max_wait_secs,
         } = self.delivery
         {
-            assert!(push_slots > 0, "a hybrid channel must carry items");
-            assert!(push_kbps > 0, "broadcast bandwidth must be positive");
-            assert!(
+            ensure!(push_slots > 0, "a hybrid channel must carry items");
+            ensure!(push_kbps > 0, "broadcast bandwidth must be positive");
+            ensure!(
                 refresh_secs > 0.0,
                 "schedule refresh period must be positive"
             );
-            assert!(max_wait_secs >= 0.0, "push patience cannot be negative");
+            ensure!(max_wait_secs >= 0.0, "push patience cannot be negative");
         }
-        assert!(
+        ensure!(
             self.speed.0 > 0.0 && self.speed.1 >= self.speed.0,
             "bad speed range"
         );
-        assert!(
+        ensure!(
             self.disc_time.1 >= self.disc_time.0 && self.disc_time.0 >= 0.0,
             "bad disconnection time range"
         );
+        ensure!(
+            (0.0..=1.0).contains(&self.faults.p2p_loss),
+            "fault p2p loss probability must lie in [0, 1]"
+        );
+        ensure!(
+            (0.0..=1.0).contains(&self.faults.corruption),
+            "fault corruption probability must lie in [0, 1]"
+        );
+        ensure!(
+            (0.0..=1.0).contains(&self.faults.departure),
+            "fault departure probability must lie in [0, 1]"
+        );
+        if let Some((period, outage)) = self.faults.server_outage {
+            ensure!(
+                period > 0.0 && outage > 0.0 && outage < period,
+                "server outage must satisfy 0 < outage < period"
+            );
+        }
+        ensure!(
+            self.faults.beacon_jitter_secs >= 0.0,
+            "beacon jitter cannot be negative"
+        );
+        ensure!(
+            self.retry.backoff_factor >= 1.0,
+            "retry backoff factor must be at least 1"
+        );
+        ensure!(
+            self.retry.server_retry_secs > 0.0,
+            "server retry delay must be positive"
+        );
+        ensure!(
+            self.retry.max_backoff_secs >= self.retry.server_retry_secs,
+            "backoff ceiling must be at least the base delay"
+        );
+        ensure!(
+            self.retry.solo_after_failures > 0 && self.retry.solo_probe_every > 0,
+            "solo-mode thresholds must be positive"
+        );
+        ensure!(
+            self.retry.delegation_copies > 0,
+            "delegation needs at least one transmission"
+        );
+        if let Some(deadline) = self.hang_deadline_secs {
+            ensure!(deadline > 0.0, "hang deadline must be positive");
+        }
+        Ok(())
+    }
+
+    /// [`SimConfig::validate`], but panicking with the violation message
+    /// — the old behaviour, kept for tests and for callers that treat an
+    /// invalid configuration as a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn validate_or_panic(&self) {
+        if let Err(err) = self.validate() {
+            panic!("{}", err.message());
+        }
     }
 }
 
@@ -405,7 +492,77 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        SimConfig::default().validate();
+        SimConfig::default().validate().expect("defaults are valid");
+    }
+
+    #[test]
+    fn validate_reports_errors_instead_of_panicking() {
+        let cfg = SimConfig {
+            num_clients: 0,
+            ..SimConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.message(), "need at least one client");
+    }
+
+    #[test]
+    fn validate_rejects_reversed_disconnection_range() {
+        let cfg = SimConfig {
+            disc_time: (5.0, 1.0),
+            ..SimConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.message().contains("disconnection time range"));
+        let cfg = SimConfig {
+            disc_time: (-1.0, 2.0),
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plans() {
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                p2p_loss: 1.5,
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().message().contains("p2p loss"));
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                corruption: -0.1,
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                server_outage: Some((10.0, 10.0)),
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().message().contains("outage"));
+        let cfg = SimConfig {
+            retry: RetryPolicy {
+                backoff_factor: 0.5,
+                ..RetryPolicy::default()
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().message().contains("backoff"));
+        let cfg = SimConfig {
+            hang_deadline_secs: Some(0.0),
+            ..SimConfig::default()
+        };
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .message()
+            .contains("hang deadline"));
     }
 
     #[test]
@@ -431,7 +588,7 @@ mod tests {
             access_range: 20_000,
             ..SimConfig::default()
         };
-        cfg.validate();
+        cfg.validate_or_panic();
     }
 
     #[test]
@@ -441,6 +598,6 @@ mod tests {
             hop_dist: 0,
             ..SimConfig::default()
         };
-        cfg.validate();
+        cfg.validate_or_panic();
     }
 }

@@ -45,6 +45,13 @@ pub struct Pending {
     pub target: Option<usize>,
     /// `t_r` of the local copy being validated.
     pub validating_t_r: SimTime,
+    /// Retry attempts already spent in the current phase (fault
+    /// hardening; reset at each phase transition, always 0 under the
+    /// zero-fault profile).
+    pub attempt: u32,
+    /// The armed retrieve/server watchdog, for cancellation. Only set
+    /// while the fault plan is active.
+    pub watchdog: Option<EventId>,
 }
 
 /// One mobile host: cache, signatures, group view and request state.
@@ -84,6 +91,12 @@ pub struct Host {
     pub last_server_contact: SimTime,
     /// Whether this host's cache has reached capacity (warm-up tracking).
     pub cache_filled: bool,
+    /// Consecutive peer searches that ended in a silent timeout (fault
+    /// hardening: feeds solo-mode entry).
+    pub consecutive_search_failures: u32,
+    /// Requests left to serve without a peer search before probing the
+    /// peers again (solo mode; 0 = cooperating normally).
+    pub solo_requests_left: u32,
 }
 
 impl Host {
@@ -116,6 +129,8 @@ impl Host {
             pending: None,
             last_server_contact: SimTime::ZERO,
             cache_filled: false,
+            consecutive_search_failures: 0,
+            solo_requests_left: 0,
         }
     }
 
@@ -203,6 +218,8 @@ mod tests {
             timeout: None,
             target: None,
             validating_t_r: SimTime::ZERO,
+            attempt: 0,
+            watchdog: None,
         });
         assert!(h.pending_matches(3, Phase::Searching));
         assert!(!h.pending_matches(3, Phase::Server));

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod fault;
 mod host;
 mod metrics;
 mod sim;
@@ -54,6 +55,7 @@ mod tcg;
 mod trace;
 
 pub use config::{DataDelivery, GroCocaToggles, Scheme, SimConfig};
+pub use fault::{AuditReport, ConfigError, FaultPlan, FaultStats, RetryPolicy};
 pub use grococa_cache::ReplacementPolicy;
 pub use grococa_mobility::MotionModel;
 pub use host::{Host, Pending, Phase};

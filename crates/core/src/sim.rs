@@ -16,6 +16,7 @@ use grococa_sim::{transmission_time, Scheduler, SimRng, SimTime};
 use grococa_workload::{AccessPattern, ItemId, ServerDb};
 
 use crate::config::{DataDelivery, Scheme, SimConfig};
+use crate::fault::{AuditReport, ConfigError, FaultStats};
 use crate::host::{Host, Pending, Phase};
 use crate::metrics::{Metrics, Outcome, Report};
 use crate::tcg::{MembershipChange, TcgDirectory};
@@ -53,6 +54,14 @@ enum Ev {
     },
     /// The adaptive peer-search timeout τ fired.
     SearchTimeout { requester: usize, gen: u64 },
+    /// Fault-hardening watchdog: the data a retrieving host was promised
+    /// never arrived (lost, corrupted, or the provider departed). Armed
+    /// only while the fault plan is active.
+    RetrieveTimeout { requester: usize, gen: u64 },
+    /// Fault-hardening watchdog: a server interaction produced no
+    /// response (request dropped in an outage window). Armed only while
+    /// the fault plan is active.
+    ServerRetry { mh: usize, gen: u64 },
     /// A request reaches the MSS over the uplink.
     ServerRequest { mh: usize, gen: u64 },
     /// The MSS's data message reaches the host over the downlink.
@@ -154,6 +163,12 @@ pub struct RunOutput {
     pub pos_cache_misses: u64,
     /// High-water mark of the scheduler's pending-event queue.
     pub peak_heap_depth: usize,
+    /// Whole-run fault-injection and recovery counters (all zero under
+    /// the zero-fault profile; not reset at the warm-up boundary).
+    pub fault_stats: FaultStats,
+    /// The end-of-run invariant audit: proves the run terminated cleanly
+    /// instead of wedging silently.
+    pub audit: AuditReport,
 }
 
 /// One configured simulation instance.
@@ -186,6 +201,15 @@ pub struct Simulation {
     active: Vec<bool>,
     host_rngs: Vec<SimRng>,
     rng_updates: SimRng,
+    /// The dedicated fault-injection stream (substream 4). All fault
+    /// draws come from here in event-dispatch order, so a
+    /// `(seed, fault_profile)` pair replays byte-identically; the
+    /// zero-fault profile never draws from it.
+    fault_rng: SimRng,
+    /// Cached `cfg.faults.active()` — the single gate on every fault
+    /// draw and every hardening timer.
+    faults_active: bool,
+    fstats: FaultStats,
     metrics: Metrics,
     tracer: Option<Tracer>,
     last_event_time: SimTime,
@@ -219,7 +243,7 @@ impl Simulation {
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn new(cfg: SimConfig) -> Self {
-        cfg.validate();
+        cfg.validate_or_panic();
         let n = cfg.num_clients;
         let field = MobilityField::new(
             FieldConfig {
@@ -293,18 +317,27 @@ impl Simulation {
                 mask
             },
             ndp: cfg.ndp_tables.then(|| {
-                Ndp::new(
-                    n,
-                    NdpConfig {
-                        miss_threshold: cfg.ndp_miss_threshold,
-                    },
-                )
+                let ndp_cfg = NdpConfig {
+                    miss_threshold: cfg.ndp_miss_threshold,
+                };
+                // Under injected beacon loss a healthy link misses rounds
+                // at the loss rate; the staleness grace keeps the table
+                // from flapping on lost frames.
+                let ndp_cfg = if cfg.faults.active() {
+                    ndp_cfg.with_grace(cfg.retry.ndp_grace_rounds)
+                } else {
+                    ndp_cfg
+                };
+                Ndp::new(n, ndp_cfg)
             }),
             active: vec![true; n],
             host_rngs: (0..n)
                 .map(|i| SimRng::substream(cfg.seed, 1_000 + i as u64))
                 .collect(),
             rng_updates: SimRng::substream(cfg.seed, 1),
+            fault_rng: SimRng::substream(cfg.seed, 4),
+            faults_active: cfg.faults.active(),
+            fstats: FaultStats::default(),
             metrics: Metrics::new(),
             tracer: None,
             last_event_time: SimTime::ZERO,
@@ -322,6 +355,14 @@ impl Simulation {
             csr_nbrs: Vec::new(),
             cfg,
         }
+    }
+
+    /// Builds a simulation, reporting a configuration violation as an
+    /// error instead of panicking (the CLI front end maps this to a
+    /// clean diagnostic).
+    pub fn try_new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self::new(cfg))
     }
 
     /// The configuration this simulation runs.
@@ -365,12 +406,19 @@ impl Simulation {
         let started = std::time::Instant::now();
         let mut sched: Scheduler<Ev> = Scheduler::new();
         self.bootstrap(&mut sched);
-        while let Some((_, ev)) = sched.pop() {
+        let deadline = self.cfg.hang_deadline_secs.map(SimTime::from_secs_f64);
+        loop {
+            let next = match deadline {
+                Some(d) => sched.pop_until(d),
+                None => sched.pop(),
+            };
+            let Some((_, ev)) = next else { break };
             self.handle(&mut sched, ev);
             if self.completed_recorded >= self.target_completed {
                 break;
             }
         }
+        let audit = self.audit(&sched);
         let elapsed = started.elapsed().as_secs_f64();
         let finished_at = sched.now();
         self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
@@ -391,6 +439,8 @@ impl Simulation {
             pos_cache_hits,
             pos_cache_misses,
             peak_heap_depth: sched.peak_depth(),
+            fault_stats: self.fstats,
+            audit,
             metrics: self.metrics.clone(),
         };
         (out, self)
@@ -467,6 +517,10 @@ impl Simulation {
                 expiry,
             } => self.on_peer_data(sched, requester, gen, from, expiry),
             Ev::SearchTimeout { requester, gen } => self.on_search_timeout(sched, requester, gen),
+            Ev::RetrieveTimeout { requester, gen } => {
+                self.on_retrieve_timeout(sched, requester, gen)
+            }
+            Ev::ServerRetry { mh, gen } => self.on_server_retry(sched, mh, gen),
             Ev::ServerRequest { mh, gen } => self.on_server_request(sched, mh, gen),
             Ev::ServerData {
                 mh,
@@ -506,6 +560,280 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection (deterministic substream 4) & hardening timers
+    // ------------------------------------------------------------------
+
+    /// Draws the loss channel for one P2P delivery. The sender has
+    /// already transmitted (and been charged); a `true` result means the
+    /// receiver never decodes the frame. Never draws when the loss
+    /// channel is off, keeping the zero-fault profile byte-identical.
+    fn fault_lost(&mut self) -> bool {
+        let p = self.cfg.faults.p2p_loss;
+        if p > 0.0 && self.fault_rng.chance(p) {
+            self.fstats.p2p_lost += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws the corruption channel for one data-bearing P2P payload. A
+    /// `true` result models a payload that fails the receiver's
+    /// signature/integrity check and is dropped.
+    fn fault_corrupted(&mut self) -> bool {
+        let p = self.cfg.faults.corruption;
+        if p > 0.0 && self.fault_rng.chance(p) {
+            self.fstats.corrupted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Any delivered P2P frame is proof the receiving host is not
+    /// partitioned: its own reply-less searches were bad luck (or cold
+    /// caches elsewhere), not isolation. Clears the partition-evidence
+    /// streak and ends solo mode early, so mild loss rates don't push
+    /// well-connected hosts into needless server-only operation. Under
+    /// total loss no frame is ever delivered, so solo convergence to
+    /// conventional caching is untouched.
+    fn note_peer_traffic(&mut self, h: usize) {
+        if !self.faults_active {
+            return;
+        }
+        let host = &mut self.hosts[h];
+        host.consecutive_search_failures = 0;
+        if host.solo_requests_left > 0 {
+            host.solo_requests_left = 0;
+            self.fstats.solo_exits += 1;
+        }
+    }
+
+    /// Whether the MSS drops a request arriving at `now` (outage
+    /// window). Counts the drop.
+    fn server_outage_drop(&mut self, now: SimTime) -> bool {
+        if self.faults_active && self.cfg.faults.server_down(now.as_secs_f64()) {
+            self.fstats.outage_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The retrieve-phase watchdog delay for retry `attempt`: the
+    /// retrieve + data transmission times plus the initial-timeout
+    /// margin, backed off exponentially.
+    fn retrieve_retry_delay(&self, attempt: u32) -> SimTime {
+        let base = transmission_time(self.cfg.msg.p2p_retrieve, self.cfg.p2p_kbps)
+            .saturating_add(transmission_time(
+                self.cfg.msg.data_message(),
+                self.cfg.p2p_kbps,
+            ))
+            .saturating_add(self.cfg.initial_timeout());
+        let factor = self.cfg.retry.backoff_factor.powi(attempt.min(16) as i32);
+        SimTime::from_secs_f64(base.as_secs_f64() * factor)
+    }
+
+    /// The server watchdog delay for retry `attempt`: exponential
+    /// backoff from the configured base, capped at the ceiling so
+    /// retries keep probing through long outages without runaway gaps.
+    fn server_retry_delay(&self, attempt: u32) -> SimTime {
+        let secs = (self.cfg.retry.server_retry_secs
+            * self.cfg.retry.backoff_factor.powi(attempt.min(30) as i32))
+        .min(self.cfg.retry.max_backoff_secs);
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Arms the server-interaction watchdog on `mh`'s request (no-op
+    /// under the zero-fault profile).
+    fn arm_server_watchdog(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        if !self.faults_active {
+            return;
+        }
+        let attempt = self.hosts[mh].pending_mut(gen).map_or(0, |p| p.attempt);
+        let delay = self.server_retry_delay(attempt);
+        let wd = sched.schedule_after(delay, Ev::ServerRetry { mh, gen });
+        if let Some(p) = self.hosts[mh].pending_mut(gen) {
+            p.watchdog = Some(wd);
+        }
+    }
+
+    /// Mid-transfer departure: `provider` drops off the network at the
+    /// instant it would start streaming data. Only idle providers (no
+    /// pending request of their own) depart, preserving the invariant
+    /// that a disconnected host has nothing in flight; the ordinary
+    /// reconnection path brings them back.
+    fn maybe_depart_provider(&mut self, sched: &mut Scheduler<Ev>, provider: usize) -> bool {
+        let p = self.cfg.faults.departure;
+        if p <= 0.0 || self.hosts[provider].pending.is_some() || !self.fault_rng.chance(p) {
+            return false;
+        }
+        self.fstats.departures += 1;
+        let now = sched.now();
+        self.hosts[provider].connected = false;
+        self.active[provider] = false;
+        self.trace(now, provider, TraceKind::Disconnected);
+        let dur = self
+            .fault_rng
+            .uniform_f64(self.cfg.disc_time.0, self.cfg.disc_time.1);
+        sched.schedule_after(SimTime::from_secs_f64(dur), Ev::Reconnect { mh: provider });
+        true
+    }
+
+    /// The retrieve watchdog fired: the promised data never arrived.
+    /// Bounded retransmission with exponential backoff, then the server
+    /// fallback.
+    fn on_retrieve_timeout(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+        if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
+            return;
+        }
+        let (target, attempt) = {
+            let p = self.hosts[requester]
+                .pending
+                .as_ref()
+                .expect("guard passed");
+            (p.target.expect("retrieving implies a target"), p.attempt)
+        };
+        if attempt >= self.cfg.retry.max_retrieve_retries {
+            if self.warm {
+                self.metrics.retrieve_fallbacks += 1;
+            }
+            self.enter_server_phase(sched, requester, gen);
+            return;
+        }
+        self.fstats.retrieve_retries += 1;
+        self.trace_now(requester, TraceKind::Retried);
+        let now = sched.now();
+        let done = self.p2p.send(requester, now, self.cfg.msg.p2p_retrieve);
+        self.charge_p2p(requester, target, self.cfg.msg.p2p_retrieve, now);
+        if !self.fault_lost() {
+            sched.schedule_at(done, Ev::Retrieve { requester, gen });
+        }
+        let delay = self.retrieve_retry_delay(attempt + 1);
+        let wd = sched.schedule_after(delay, Ev::RetrieveTimeout { requester, gen });
+        if let Some(p) = self.hosts[requester].pending_mut(gen) {
+            p.attempt = attempt + 1;
+            p.watchdog = Some(wd);
+        }
+    }
+
+    /// The server watchdog fired: the interaction produced no response
+    /// (dropped in an outage window, or still queued). Validations are
+    /// bounded — after `max_validation_retries` the host degrades
+    /// gracefully by serving its stale local copy. Plain fetches retry
+    /// with capped backoff until served: the MSS is the authority of
+    /// last resort and outage windows are finite by construction, so
+    /// termination is guaranteed.
+    fn on_server_retry(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+        let phase = match self.hosts[mh].pending.as_ref() {
+            Some(p) if p.gen == gen && matches!(p.phase, Phase::Server | Phase::Validating) => {
+                p.phase
+            }
+            _ => return,
+        };
+        let now = sched.now();
+        let attempt = self.hosts[mh]
+            .pending
+            .as_ref()
+            .expect("guard passed")
+            .attempt;
+        if phase == Phase::Validating && attempt >= self.cfg.retry.max_validation_retries {
+            // Graceful degradation: the copy is stale, not wrong — serve
+            // it rather than hang on an unreachable validator.
+            self.fstats.stale_serves += 1;
+            let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+            self.hosts[mh].cache.get(item, now);
+            self.complete(sched, mh, Outcome::Local, false);
+            return;
+        }
+        self.fstats.server_retries += 1;
+        self.trace_now(mh, TraceKind::Retried);
+        let bytes = match phase {
+            Phase::Server => self.cfg.msg.server_request,
+            _ => self.cfg.msg.validation,
+        };
+        let arr = self.server.request_arrival(now, bytes);
+        match phase {
+            Phase::Server => sched.schedule_at(arr, Ev::ServerRequest { mh, gen }),
+            _ => sched.schedule_at(arr, Ev::ValidationRequest { mh, gen }),
+        };
+        self.hosts[mh].last_server_contact = now;
+        let delay = self.server_retry_delay(attempt + 1);
+        let wd = sched.schedule_after(delay, Ev::ServerRetry { mh, gen });
+        if let Some(p) = self.hosts[mh].pending_mut(gen) {
+            p.attempt = attempt + 1;
+            p.watchdog = Some(wd);
+        }
+    }
+
+    /// The end-of-run invariant audit (see [`AuditReport`]): every
+    /// in-flight request must still have a live event able to advance
+    /// it, every idle host a wake-up, every disconnected host a
+    /// reconnection — and the completion target must have been reached
+    /// before any hang deadline.
+    fn audit(&self, sched: &Scheduler<Ev>) -> AuditReport {
+        let n = self.hosts.len();
+        let reached_target = self.completed_recorded >= self.target_completed;
+        // A live event "advances" a host when it can move the host's
+        // *current* request (gen-matched protocol events) or its
+        // lifecycle (wake-ups, reconnections). Stale events for old
+        // generations linger in the heap by design and must not count.
+        let mut advances = vec![false; n];
+        let mut wakes = vec![false; n];
+        let mut reconnects = vec![false; n];
+        sched.for_each_pending(|_, ev| {
+            let request = match *ev {
+                Ev::PeerRequest { requester, gen, .. }
+                | Ev::Reply { requester, gen, .. }
+                | Ev::Retrieve { requester, gen }
+                | Ev::PeerData { requester, gen, .. }
+                | Ev::SearchTimeout { requester, gen }
+                | Ev::RetrieveTimeout { requester, gen } => Some((requester, gen)),
+                Ev::ServerRequest { mh, gen }
+                | Ev::ServerData { mh, gen, .. }
+                | Ev::ValidationRequest { mh, gen }
+                | Ev::ValidationOk { mh, gen, .. }
+                | Ev::ServerRetry { mh, gen }
+                | Ev::PushArrive { mh, gen } => Some((mh, gen)),
+                Ev::NextRequest { mh } => {
+                    wakes[mh] = true;
+                    None
+                }
+                Ev::Reconnect { mh } => {
+                    reconnects[mh] = true;
+                    None
+                }
+                _ => None,
+            };
+            if let Some((mh, gen)) = request {
+                if self.hosts[mh].gen == gen {
+                    advances[mh] = true;
+                }
+            }
+        });
+        let mut report = AuditReport {
+            hung: !reached_target && !sched.is_empty(),
+            starved: !reached_target && sched.is_empty(),
+            ..AuditReport::default()
+        };
+        for (i, host) in self.hosts.iter().enumerate() {
+            if host.pending.is_some() {
+                report.in_flight += 1;
+                if !advances[i] {
+                    report.wedged_hosts.push(i);
+                }
+            } else if !host.connected {
+                if !reconnects[i] {
+                    report.lost_hosts.push(i);
+                }
+            } else if !wakes[i] {
+                report.lost_hosts.push(i);
+            }
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
     // Request lifecycle
     // ------------------------------------------------------------------
 
@@ -529,6 +857,8 @@ impl Simulation {
             timeout: None,
             target: None,
             validating_t_r: SimTime::ZERO,
+            attempt: 0,
+            watchdog: None,
         });
         self.trace(now, mh, TraceKind::RequestIssued { item });
         let host = &mut self.hosts[mh];
@@ -552,6 +882,7 @@ impl Simulation {
                 self.hosts[mh].last_server_contact = now;
                 self.trace(now, mh, TraceKind::ValidationStarted);
                 sched.schedule_at(arr, Ev::ValidationRequest { mh, gen });
+                self.arm_server_watchdog(sched, mh, gen);
             }
             return;
         }
@@ -563,9 +894,18 @@ impl Simulation {
             return;
         }
 
-        // 3. Peer search or straight to the MSS.
+        // 3. Peer search or straight to the MSS. A host in solo mode
+        // (graceful degradation after repeated silent searches) skips
+        // the hopeless search and pays the server price directly,
+        // probing the peers again once the solo budget runs out.
         if self.cfg.scheme.is_cooperative() && self.should_search_peers(mh, item) {
-            self.start_search(sched, mh, gen, item);
+            if self.faults_active && self.hosts[mh].solo_requests_left > 0 {
+                self.hosts[mh].solo_requests_left -= 1;
+                self.fstats.solo_skips += 1;
+                self.enter_server_phase(sched, mh, gen);
+            } else {
+                self.start_search(sched, mh, gen, item);
+            }
         } else {
             self.enter_server_phase(sched, mh, gen);
         }
@@ -695,6 +1035,12 @@ impl Simulation {
         let reached = self.broadcast_reach_into(mh, now, reached);
         self.charge_broadcast(mh, &reached, bytes);
         for &(peer, hop) in &reached {
+            // Each broadcast leg draws the loss channel independently:
+            // the frame was transmitted (and charged), the peer just
+            // never decodes it.
+            if self.fault_lost() {
+                continue;
+            }
             let at = self.p2p.broadcast_delivery(sent_done, bytes, hop);
             sched.schedule_at(
                 at,
@@ -715,7 +1061,15 @@ impl Simulation {
             },
         );
         self.reach_scratch = reached;
-        let tau = self.search_timeout(mh);
+        let mut tau = self.search_timeout(mh);
+        if self.faults_active {
+            // Retried searches back off exponentially.
+            let attempt = self.hosts[mh].pending.as_ref().map_or(0, |p| p.attempt);
+            if attempt > 0 {
+                let factor = self.cfg.retry.backoff_factor.powi(attempt.min(16) as i32);
+                tau = SimTime::from_secs_f64(tau.as_secs_f64() * factor);
+            }
+        }
         let host = &mut self.hosts[mh];
         let p = host.pending.as_mut().expect("search on live request");
         p.broadcast_at = now;
@@ -783,6 +1137,7 @@ impl Simulation {
         if !self.hosts[peer].connected {
             return;
         }
+        self.note_peer_traffic(peer);
         let now = sched.now();
         // Piggybacked signature updates apply when the requester is in the
         // receiver's TCG (Section IV.D.4).
@@ -795,6 +1150,9 @@ impl Simulation {
         if self.hosts[peer].has_valid(item, now) {
             let done = self.p2p.send(peer, now, self.cfg.msg.p2p_reply);
             self.charge_p2p(peer, requester, self.cfg.msg.p2p_reply, now);
+            if self.fault_lost() {
+                return;
+            }
             sched.schedule_at(
                 done,
                 Ev::Reply {
@@ -824,10 +1182,24 @@ impl Simulation {
         }
         p.phase = Phase::Retrieving;
         p.target = Some(from);
+        p.attempt = 0;
+        self.note_peer_traffic(requester);
         self.trace(now, requester, TraceKind::ReplyAccepted { from });
         let done = self.p2p.send(requester, now, self.cfg.msg.p2p_retrieve);
         self.charge_p2p(requester, from, self.cfg.msg.p2p_retrieve, now);
-        sched.schedule_at(done, Ev::Retrieve { requester, gen });
+        if !self.fault_lost() {
+            sched.schedule_at(done, Ev::Retrieve { requester, gen });
+        }
+        if self.faults_active {
+            // The retrieve watchdog backstops every way the data can
+            // fail to arrive: lost retrieve, lost or corrupted data,
+            // provider departure.
+            let delay = self.retrieve_retry_delay(0);
+            let wd = sched.schedule_after(delay, Ev::RetrieveTimeout { requester, gen });
+            if let Some(p) = self.hosts[requester].pending_mut(gen) {
+                p.watchdog = Some(wd);
+            }
+        }
     }
 
     fn on_retrieve(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
@@ -851,6 +1223,13 @@ impl Simulation {
             self.enter_server_phase(sched, requester, gen);
             return;
         }
+        // Mid-transfer departure: the provider drops off the network at
+        // the instant it would start streaming. The requester's retrieve
+        // watchdog retries, finds the target gone and falls back to the
+        // MSS; the provider reconnects through the ordinary path.
+        if self.faults_active && self.maybe_depart_provider(sched, target) {
+            return;
+        }
         // Cooperative admission, provider side: a TCG member serving the
         // item refreshes its last-access timestamp so the copy is retained
         // longer in the global cache.
@@ -868,6 +1247,9 @@ impl Simulation {
         let bytes = self.cfg.msg.data_message();
         let done = self.p2p.send(target, now, bytes);
         self.charge_p2p(target, requester, bytes, now);
+        if self.fault_lost() {
+            return;
+        }
         sched.schedule_at(
             done,
             Ev::PeerData {
@@ -888,6 +1270,11 @@ impl Simulation {
         expiry: SimTime,
     ) {
         if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
+            return;
+        }
+        // A corrupted payload fails the signature/integrity check and is
+        // dropped; the retrieve watchdog recovers.
+        if self.fault_corrupted() {
             return;
         }
         let item = self.hosts[requester]
@@ -913,6 +1300,43 @@ impl Simulation {
             self.metrics.search_timeouts += 1;
         }
         self.trace(sched.now(), requester, TraceKind::SearchTimedOut);
+        if self.faults_active {
+            let (item, attempt) = {
+                let p = self.hosts[requester]
+                    .pending
+                    .as_ref()
+                    .expect("guard passed");
+                (p.item, p.attempt)
+            };
+            if attempt < self.cfg.retry.max_search_retries {
+                // Bounded rebroadcast: the whole search may have been
+                // lost on the air; one more round with a backed-off τ
+                // is cheaper than a premature server fallback.
+                self.fstats.search_retries += 1;
+                self.trace_now(requester, TraceKind::Retried);
+                if let Some(p) = self.hosts[requester].pending_mut(gen) {
+                    p.attempt = attempt + 1;
+                }
+                self.start_search(sched, requester, gen, item);
+                return;
+            }
+            // A terminally silent search: after enough consecutive ones
+            // the host assumes it is partitioned and goes solo. Streaks
+            // only count once the host's own cache has filled — while
+            // everyone is cold, empty searches are the norm, not
+            // partition evidence, and condemning hosts to solo mode
+            // during warm-up would wreck cooperation for the whole run.
+            let host = &mut self.hosts[requester];
+            if host.cache_filled {
+                host.consecutive_search_failures += 1;
+                if host.consecutive_search_failures >= self.cfg.retry.solo_after_failures
+                    && host.solo_requests_left == 0
+                {
+                    host.solo_requests_left = self.cfg.retry.solo_probe_every;
+                    self.fstats.solo_entries += 1;
+                }
+            }
+        }
         self.enter_server_phase(sched, requester, gen);
     }
 
@@ -924,16 +1348,25 @@ impl Simulation {
         };
         p.phase = Phase::Server;
         p.timeout = None;
+        p.attempt = 0;
+        let stale_watchdog = p.watchdog.take();
         host.last_server_contact = now;
+        if let Some(id) = stale_watchdog {
+            sched.cancel(id);
+        }
         self.trace(now, mh, TraceKind::ServerContacted);
         let arr = self
             .server
             .request_arrival(now, self.cfg.msg.server_request);
         sched.schedule_at(arr, Ev::ServerRequest { mh, gen });
+        self.arm_server_watchdog(sched, mh, gen);
     }
 
     fn on_server_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
         if !self.hosts[mh].pending_matches(gen, Phase::Server) {
+            return;
+        }
+        if self.server_outage_drop(sched.now()) {
             return;
         }
         let now = sched.now();
@@ -985,6 +1418,9 @@ impl Simulation {
 
     fn on_validation_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
         if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
+            return;
+        }
+        if self.server_outage_drop(sched.now()) {
             return;
         }
         let now = sched.now();
@@ -1185,23 +1621,43 @@ impl Simulation {
         }
         let Some((target, _)) = best else { return };
         let bytes = self.cfg.msg.data_message();
-        let done = self.p2p.send(mh, now, bytes);
-        self.charge_p2p(mh, target, bytes, now);
         if self.warm {
             self.metrics.delegations += 1;
         }
-        // The event carries the payload; the receiver decides to keep it.
-        sched.schedule_at(
-            done,
-            Ev::Delegated {
-                to: target,
-                item: victim,
-                expiry,
-            },
-        );
+        // Under an active fault plan the handoff is retransmitted
+        // `delegation_copies` times back-to-back: a delegated singlet is
+        // the group's last replica, so a single lost frame would silently
+        // erase it from the aggregate cache.
+        let copies = if self.faults_active {
+            self.cfg.retry.delegation_copies
+        } else {
+            1
+        };
+        for c in 0..copies {
+            let done = self.p2p.send(mh, now, bytes);
+            self.charge_p2p(mh, target, bytes, now);
+            if c > 0 {
+                self.fstats.delegation_retransmits += 1;
+            }
+            if self.fault_lost() {
+                continue;
+            }
+            // The event carries the payload; the receiver decides to keep it.
+            sched.schedule_at(
+                done,
+                Ev::Delegated {
+                    to: target,
+                    item: victim,
+                    expiry,
+                },
+            );
+        }
     }
 
     fn on_delegated(&mut self, now: SimTime, to: usize, item: ItemId, expiry: SimTime) {
+        if self.fault_corrupted() {
+            return;
+        }
         let host = &mut self.hosts[to];
         if !host.connected || host.cache.contains(item) {
             return;
@@ -1242,6 +1698,9 @@ impl Simulation {
             .pending
             .take()
             .expect("completing a live request");
+        if let Some(id) = p.watchdog {
+            sched.cancel(id);
+        }
         if p.recorded && self.warm {
             let latency = now.saturating_sub(p.issued_at);
             self.metrics.record_completion(outcome, latency, from_tcg);
@@ -1294,6 +1753,12 @@ impl Simulation {
     }
 
     fn on_reconnect_sync(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+        // A sync lost to an MSS outage is not retried: membership stays
+        // stale until the next ordinary server contact re-syncs it, which
+        // is conservative (the host merely cooperates less).
+        if self.server_outage_drop(sched.now()) {
+            return;
+        }
         let now = sched.now();
         // Location is piggybacked on the sync; the access vector is not.
         let _ = self.mss_observe(mh, None, now);
@@ -1410,6 +1875,9 @@ impl Simulation {
         if self.warm {
             self.metrics.signature_messages += 1;
         }
+        if self.fault_lost() {
+            return; // `from` keeps `to` in its OutstandSigList
+        }
         sched.schedule_at(done, Ev::SigRequest { from, to, members });
     }
 
@@ -1432,6 +1900,9 @@ impl Simulation {
             self.metrics.signature_messages += 1;
         }
         for &(peer, hop) in &reached {
+            if self.fault_lost() {
+                continue;
+            }
             let at = self.p2p.broadcast_delivery(done, bytes, hop);
             sched.schedule_at(
                 at,
@@ -1480,6 +1951,9 @@ impl Simulation {
             self.metrics.signature_messages += 1;
             self.metrics.signature_bytes += bytes;
         }
+        if self.fault_lost() {
+            return; // the requester keeps `to` in its OutstandSigList
+        }
         sched.schedule_at(
             done,
             Ev::SigReply {
@@ -1491,6 +1965,11 @@ impl Simulation {
     }
 
     fn on_sig_reply(&mut self, from: usize, to: usize, sig: Rc<BloomFilter>) {
+        // A corrupted signature is detected by its checksum and dropped —
+        // folding garbage into the counter vector would poison filtering.
+        if self.fault_corrupted() {
+            return;
+        }
         let host = &mut self.hosts[to];
         if !host.connected || !host.tcg.contains(&from) {
             return;
@@ -1544,6 +2023,11 @@ impl Simulation {
         mh: usize,
         sample: Rc<Vec<ItemId>>,
     ) {
+        // An explicit update lost to an MSS outage is simply skipped; the
+        // τ_P timer fires again regardless.
+        if self.server_outage_drop(sched.now()) {
+            return;
+        }
         let now = sched.now();
         let changes = {
             let Some(dir) = self.dir.as_mut() else { return };
@@ -1694,10 +2178,14 @@ impl Simulation {
     /// per-host receiver counts for power accounting.
     fn on_beacon_tick(&mut self, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
-        sched.schedule_after(
-            SimTime::from_secs_f64(self.cfg.beacon_period_secs),
-            Ev::BeaconTick,
-        );
+        let mut period = self.cfg.beacon_period_secs;
+        if self.faults_active && self.cfg.faults.beacon_jitter_secs > 0.0 {
+            // Clock drift: the next round slips by a uniform jitter.
+            period += self
+                .fault_rng
+                .uniform_f64(0.0, self.cfg.faults.beacon_jitter_secs);
+        }
+        sched.schedule_after(SimTime::from_secs_f64(period), Ev::BeaconTick);
         let account = self.warm && self.cfg.account_beacons;
         if self.ndp.is_none() && !account {
             return;
@@ -1711,9 +2199,18 @@ impl Simulation {
         starts.clear();
         nbrs.clear();
         starts.push(0);
+        let beacon_loss = self.cfg.faults.p2p_loss;
         for mh in 0..n {
             self.field
                 .neighbors_within_bits(mh, self.cfg.tran_range, now, &bits, &mut row);
+            if beacon_loss > 0.0 {
+                // Each neighbour independently misses this host's hello;
+                // the NDP grace rounds absorb transient misses.
+                let before = row.len();
+                let rng = &mut self.fault_rng;
+                row.retain(|_| !rng.chance(beacon_loss));
+                self.fstats.beacons_lost += (before - row.len()) as u64;
+            }
             nbrs.extend_from_slice(&row);
             starts.push(nbrs.len());
         }

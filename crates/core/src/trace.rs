@@ -61,6 +61,9 @@ pub enum TraceKind {
     Disconnected,
     /// The host reconnected.
     Reconnected,
+    /// A hardening watchdog re-sent a lost or unanswered message (fault
+    /// injection extension; never emitted under the zero-fault profile).
+    Retried,
 }
 
 /// One timestamped trace record.

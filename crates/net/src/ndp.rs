@@ -25,6 +25,21 @@ impl Default for NdpConfig {
     }
 }
 
+impl NdpConfig {
+    /// This configuration with `rounds` extra beacon rounds of staleness
+    /// grace before a link is declared failed.
+    ///
+    /// Under injected beacon loss a healthy link misses rounds at the
+    /// loss rate; widening the threshold keeps the link table from
+    /// flapping on lost frames while preserving detection of genuine
+    /// departures (which miss every subsequent round).
+    pub fn with_grace(self, rounds: u32) -> Self {
+        NdpConfig {
+            miss_threshold: self.miss_threshold + rounds,
+        }
+    }
+}
+
 /// A link-state change produced by a beacon round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkEvent {
@@ -300,6 +315,26 @@ mod tests {
 
     fn all_active(n: usize) -> Vec<bool> {
         vec![true; n]
+    }
+
+    #[test]
+    fn grace_widens_the_miss_threshold() {
+        let base = NdpConfig { miss_threshold: 2 };
+        assert_eq!(base.with_grace(0), base);
+        assert_eq!(base.with_grace(3).miss_threshold, 5);
+        // A link under the widened threshold survives the extra rounds.
+        let mut ndp = Ndp::new(2, base.with_grace(1));
+        let active = all_active(2);
+        assert_eq!(
+            ndp.beacon_round(|a, b| (a, b) == (0, 1), &active),
+            vec![LinkEvent::Up(0, 1)]
+        );
+        assert!(ndp.beacon_round(|_, _| false, &active).is_empty());
+        assert!(ndp.beacon_round(|_, _| false, &active).is_empty());
+        assert_eq!(
+            ndp.beacon_round(|_, _| false, &active),
+            vec![LinkEvent::Down(0, 1)]
+        );
     }
 
     #[test]

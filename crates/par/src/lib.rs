@@ -23,7 +23,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Best-effort extraction of a panic payload's message.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Runs one job, re-panicking with the job index in the message so a
+/// failure in a 600-cell sweep points at the exact cell.
+fn run_job<I, O>(f: &impl Fn(&I) -> O, input: &I, idx: usize) -> O {
+    match catch_unwind(AssertUnwindSafe(|| f(input))) {
+        Ok(out) => out,
+        Err(payload) => panic!("job {idx} panicked: {}", payload_text(payload.as_ref())),
+    }
+}
 
 /// The environment variable selecting the degree of parallelism.
 pub const JOBS_ENV: &str = "GROCOCA_JOBS";
@@ -64,7 +83,9 @@ pub fn default_jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first worker panic after all threads have stopped.
+/// If any job panics, re-panics after all threads have stopped with a
+/// message naming the **smallest failing job index** plus the original
+/// panic text — in a grid sweep that pinpoints the exact cell.
 ///
 /// # Examples
 ///
@@ -83,10 +104,16 @@ where
     let n = inputs.len();
     let jobs = jobs.max(1).min(n.max(1));
     if jobs <= 1 || n <= 1 {
-        return inputs.iter().map(f).collect();
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(idx, input)| run_job(&f, input, idx))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut collected: Vec<(usize, O)> = Vec::with_capacity(n);
+    // The smallest-indexed panic across all workers, if any.
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
@@ -95,21 +122,32 @@ where
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         if idx >= n {
-                            break;
+                            return (local, None);
                         }
-                        local.push((idx, f(&inputs[idx])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&inputs[idx]))) {
+                            Ok(out) => local.push((idx, out)),
+                            // Stop claiming; sibling workers drain the rest.
+                            Err(payload) => return (local, Some((idx, payload))),
+                        }
                     }
-                    local
                 })
             })
             .collect();
         for handle in handles {
-            match handle.join() {
-                Ok(local) => collected.extend(local),
-                Err(payload) => std::panic::resume_unwind(payload),
+            let (local, panicked) = handle
+                .join()
+                .expect("worker panics are caught inside the worker");
+            collected.extend(local);
+            if let Some((idx, payload)) = panicked {
+                if first_panic.as_ref().is_none_or(|&(best, _)| idx < best) {
+                    first_panic = Some((idx, payload));
+                }
             }
         }
     });
+    if let Some((idx, payload)) = first_panic {
+        panic!("job {idx} panicked: {}", payload_text(payload.as_ref()));
+    }
     collected.sort_by_key(|&(idx, _)| idx);
     collected.into_iter().map(|(_, out)| out).collect()
 }
@@ -194,5 +232,56 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn worker_panic_is_tagged_with_job_index() {
+        let inputs: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(&inputs, 4, |&x| {
+                assert!(x != 9, "boom");
+                x
+            })
+        });
+        let text = panic_message(result.expect_err("must panic"));
+        assert!(text.contains("job 9"), "got: {text}");
+        assert!(text.contains("boom"), "got: {text}");
+    }
+
+    #[test]
+    fn inline_panic_is_tagged_with_job_index() {
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(&[1u32, 2, 3], 1, |&x| {
+                assert!(x != 3, "kaboom");
+                x
+            })
+        });
+        let text = panic_message(result.expect_err("must panic"));
+        assert!(text.contains("job 2"), "got: {text}");
+        assert!(text.contains("kaboom"), "got: {text}");
+    }
+
+    #[test]
+    fn smallest_failing_index_wins() {
+        // Every job ≥ 20 fails; the cursor hands out indices in order, so
+        // 20 is always the first claimed failure and must be the one
+        // reported, no matter which worker hit it.
+        let inputs: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(&inputs, 8, |&x| {
+                assert!(x < 20, "late failure");
+                x
+            })
+        });
+        let text = panic_message(result.expect_err("must panic"));
+        assert!(text.contains("job 20"), "got: {text}");
     }
 }
