@@ -33,6 +33,7 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+#[allow(unsafe_code)] // instrumenting the global allocator has no safe form
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -299,8 +300,11 @@ fn whole_sim(n: usize, requests: u64) {
         ..SimConfig::default()
     };
     let t0 = Instant::now();
-    let out = Simulation::new(cfg).run();
+    let mut out = Simulation::new(cfg).run();
     let wall = t0.elapsed().as_secs_f64();
+    // The simulator is wall-clock-free; throughput is derived here, in
+    // the harness, from the externally measured duration.
+    out.record_wall_time(wall);
     println!(
         "{{\"bench\":\"whole_sim\",\"mode\":\"{}\",\"n\":{},\"events\":{},\"events_per_sec\":{:.0},\"wall_secs\":{:.3},\"pos_cache_hits\":{},\"pos_cache_misses\":{}}}",
         mode(),

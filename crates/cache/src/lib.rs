@@ -32,10 +32,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
-use grococa_sim::SimTime;
+use grococa_sim::{DetMap, SimTime};
 
 /// The victim-selection policy of a [`ClientCache`].
 ///
@@ -87,7 +86,7 @@ impl Entry {
 pub struct ClientCache<K> {
     capacity: usize,
     policy: ReplacementPolicy,
-    entries: HashMap<K, Entry>,
+    entries: DetMap<K, Entry>,
     default_singlet_ttl: u32,
 }
 
@@ -102,7 +101,7 @@ impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
         ClientCache {
             capacity,
             policy: ReplacementPolicy::Lru,
-            entries: HashMap::with_capacity(capacity),
+            entries: DetMap::with_capacity(capacity),
             default_singlet_ttl: u32::MAX,
         }
     }
@@ -324,12 +323,12 @@ impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
         Some(key)
     }
 
-    /// Iterates over all cached keys in unspecified order.
+    /// Iterates over all cached keys in insertion order.
     pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
         self.entries.keys().copied()
     }
 
-    /// Iterates over `(key, entry)` pairs in unspecified order.
+    /// Iterates over `(key, entry)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (K, &Entry)> + '_ {
         self.entries.iter().map(|(k, e)| (*k, e))
     }

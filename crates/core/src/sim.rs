@@ -153,7 +153,10 @@ pub struct RunOutput {
     /// Downlink utilisation over the recorded window.
     pub downlink_utilisation: f64,
     /// Events dispatched per wall-clock second — the simulator's raw
-    /// throughput for this run.
+    /// throughput for this run. The simulator itself is wall-clock-free
+    /// (a determinism invariant enforced by `grococa-tidy`), so this is
+    /// zero until a harness measures elapsed time around the run and
+    /// threads it in via [`RunOutput::record_wall_time`].
     pub events_per_sec: f64,
     /// Geometric queries served from the memoised per-instant position
     /// snapshot (no recompute).
@@ -169,6 +172,25 @@ pub struct RunOutput {
     /// The end-of-run invariant audit: proves the run terminated cleanly
     /// instead of wedging silently.
     pub audit: AuditReport,
+}
+
+impl RunOutput {
+    /// Derives [`RunOutput::events_per_sec`] from an externally measured
+    /// wall-clock duration.
+    ///
+    /// `grococa-core` never reads the wall clock itself — ambient time is
+    /// a nondeterminism source, and the `grococa-tidy` `wall-clock` rule
+    /// bans it from simulation crates. A harness that wants throughput
+    /// numbers measures elapsed time around [`Simulation::run`] and
+    /// threads it in here. A non-positive duration leaves the rate at
+    /// zero.
+    pub fn record_wall_time(&mut self, elapsed_secs: f64) {
+        self.events_per_sec = if elapsed_secs > 0.0 {
+            self.events as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+    }
 }
 
 /// One configured simulation instance.
@@ -403,7 +425,6 @@ impl Simulation {
     /// Runs the simulation like [`Simulation::run`] but returns the whole
     /// world alongside the output, for post-mortem inspection.
     pub fn run_inspect(mut self) -> (RunOutput, Simulation) {
-        let started = std::time::Instant::now();
         let mut sched: Scheduler<Ev> = Scheduler::new();
         self.bootstrap(&mut sched);
         let deadline = self.cfg.hang_deadline_secs.map(SimTime::from_secs_f64);
@@ -419,7 +440,6 @@ impl Simulation {
             }
         }
         let audit = self.audit(&sched);
-        let elapsed = started.elapsed().as_secs_f64();
         let finished_at = sched.now();
         self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
         let (pos_cache_hits, pos_cache_misses) = self.field.cache_stats();
@@ -431,11 +451,7 @@ impl Simulation {
             downlink_utilisation: self
                 .server
                 .downlink_utilisation(finished_at.max(SimTime::from_micros(1))),
-            events_per_sec: if elapsed > 0.0 {
-                sched.events_fired() as f64 / elapsed
-            } else {
-                0.0
-            },
+            events_per_sec: 0.0,
             pos_cache_hits,
             pos_cache_misses,
             peak_heap_depth: sched.peak_depth(),

@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn pair_index_covers_triangle_uniquely() {
         let ndp = Ndp::new(7, NdpConfig::default());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = grococa_sim::DetSet::new();
         for a in 0..7 {
             for b in (a + 1)..7 {
                 assert!(seen.insert(ndp.pair_index(a, b)), "collision at ({a},{b})");

@@ -1,0 +1,325 @@
+//! Insertion-ordered deterministic collections.
+//!
+//! `std`'s hashed collections iterate in an order that depends on a
+//! per-process random hasher seed, so any code path that observes their
+//! iteration order is a replay hazard: two runs of the same `(seed,
+//! config)` pair could diverge byte-for-byte. The workspace therefore
+//! bans them in simulation-path crates (enforced by `grococa-tidy`'s
+//! `hash-order` rule) and uses [`DetMap`] / [`DetSet`] instead.
+//!
+//! Both wrappers keep O(1) expected-time lookup through an internal hash
+//! index, but *iteration always follows insertion order*, which is a
+//! pure function of the simulation's own (deterministic) behaviour.
+//! Removal preserves the relative order of the surviving entries; the
+//! slot vector is compacted once tombstones dominate, which never
+//! reorders live entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use grococa_sim::DetMap;
+//!
+//! let mut m: DetMap<&str, u32> = DetMap::new();
+//! m.insert("b", 2);
+//! m.insert("a", 1);
+//! m.insert("c", 3);
+//! m.remove(&"a");
+//! let order: Vec<&str> = m.keys().copied().collect();
+//! assert_eq!(order, ["b", "c"]); // insertion order, not hash order
+//! ```
+
+// tidy:allow-file(hash-order): this module wraps the std map — the index
+// is lookup-only, and every iterator it exposes walks the
+// insertion-ordered slot vector instead.
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A hash map whose iteration order is the order keys were first
+/// inserted, independent of the hasher.
+///
+/// Supports the `std::collections` map subset the simulation crates
+/// need: point lookups and updates are O(1) expected time via an
+/// internal index, while `iter`/`keys`/`values` walk a slot vector in
+/// insertion order. Re-inserting an existing key updates its value **in
+/// place** and keeps its original position.
+#[derive(Debug, Clone, Default)]
+pub struct DetMap<K, V> {
+    /// Lookup index from key to slot position.
+    index: HashMap<K, usize>,
+    /// Insertion-ordered storage; `None` marks a removed entry.
+    slots: Vec<Option<(K, V)>>,
+    /// Number of live (non-tombstone) entries.
+    live: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DetMap {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty map with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DetMap {
+            index: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Shared reference to the value stored for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let &slot = self.index.get(key)?;
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable reference to the value stored for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let &slot = self.index.get(key)?;
+        self.slots[slot].as_mut().map(|(_, v)| v)
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the
+    /// key was already present (its insertion position is kept).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&slot) = self.index.get(&key) {
+            let (_, old) = self.slots[slot].replace((key, value))?;
+            return Some(old);
+        }
+        self.index.insert(key.clone(), self.slots.len());
+        self.slots.push(Some((key, value)));
+        self.live += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value if it was present. The
+    /// relative order of the remaining entries is unchanged.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.index.remove(key)?;
+        let (_, value) = self.slots[slot].take()?;
+        self.live -= 1;
+        // Compact once tombstones dominate so a long-lived map with
+        // churn cannot grow without bound. Compaction drops tombstones
+        // in place, which preserves insertion order exactly.
+        if self.slots.len() >= 16 && self.slots.len() >= self.live * 2 {
+            self.compact();
+        }
+        Some(value)
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Rebuilds the slot vector without tombstones.
+    fn compact(&mut self) {
+        let mut kept: Vec<Option<(K, V)>> = Vec::with_capacity(self.live);
+        for entry in self.slots.drain(..).flatten() {
+            self.index.insert(entry.0.clone(), kept.len());
+            kept.push(Some(entry));
+        }
+        self.slots = kept;
+    }
+}
+
+/// A hash set whose iteration order is insertion order, independent of
+/// the hasher. A thin wrapper over [`DetMap`] with unit values.
+#[derive(Debug, Clone, Default)]
+pub struct DetSet<T> {
+    map: DetMap<T, ()>,
+}
+
+impl<T: Eq + Hash + Clone> DetSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DetSet { map: DetMap::new() }
+    }
+
+    /// Creates an empty set with room for `capacity` values.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DetSet {
+            map: DetMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.map.contains_key(value)
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.map.insert(value, ()).is_none()
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.map.remove(value).is_some()
+    }
+
+    /// Drops every value.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_follows_insertion_order() {
+        let mut m: DetMap<u32, &str> = DetMap::new();
+        for k in [30, 10, 20, 5, 25] {
+            m.insert(k, "v");
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, [30, 10, 20, 5, 25]);
+    }
+
+    #[test]
+    fn reinsert_keeps_position_and_returns_old() {
+        let mut m: DetMap<u32, u32> = DetMap::new();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.len(), 2);
+        let pairs: Vec<(u32, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, [(1, 11), (2, 20)]);
+    }
+
+    #[test]
+    fn remove_preserves_relative_order() {
+        let mut m: DetMap<u32, u32> = DetMap::new();
+        for k in 0..6 {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.remove(&2), Some(20));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 5);
+        assert!(!m.contains_key(&2));
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, [0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn compaction_keeps_order_under_churn() {
+        let mut m: DetMap<u32, u32> = DetMap::new();
+        for k in 0..64 {
+            m.insert(k, k);
+        }
+        for k in 0..48 {
+            m.remove(&k);
+        }
+        // Compaction must have kicked in (tombstones dominated), and
+        // the survivors must still read back in insertion order.
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, (48..64).collect::<Vec<u32>>());
+        for k in 48..64 {
+            assert_eq!(m.get(&k), Some(&k));
+        }
+        // Fresh inserts go to the back.
+        m.insert(7, 700);
+        assert_eq!(m.keys().copied().last(), Some(7));
+        assert_eq!(m.get(&7), Some(&700));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m: DetMap<u32, u32> = DetMap::new();
+        m.insert(1, 1);
+        *m.get_mut(&1).unwrap() += 9;
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get_mut(&99), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m: DetMap<u32, u32> = DetMap::with_capacity(4);
+        m.insert(1, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        m.insert(2, 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s: DetSet<u32> = DetSet::with_capacity(2);
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        let vals: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(vals, [1]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn values_iterate_in_insertion_order() {
+        let mut m: DetMap<u32, &str> = DetMap::new();
+        m.insert(9, "first");
+        m.insert(1, "second");
+        let vals: Vec<&str> = m.values().copied().collect();
+        assert_eq!(vals, ["first", "second"]);
+    }
+}

@@ -5,8 +5,9 @@
 //! a monotone sequence number), which keeps simulations deterministic.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use crate::det::DetSet;
 use crate::SimTime;
 
 /// A unique handle to a scheduled event, usable for cancellation.
@@ -70,10 +71,13 @@ pub struct Scheduler<E> {
     now: SimTime,
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    /// Lazily cancelled sequence numbers. A hash set keeps both
+    /// Lazily cancelled sequence numbers. A [`DetSet`] keeps both
     /// cancellation and the per-pop tombstone check O(1) amortised — the
-    /// earlier `Vec` tombstone list was scanned linearly on every pop.
-    cancelled: HashSet<u64>,
+    /// earlier `Vec` tombstone list was scanned linearly on every pop —
+    /// while staying free of hash-order nondeterminism (the set is
+    /// membership-only today, but a future iteration over it must not
+    /// become a replay hazard).
+    cancelled: DetSet<u64>,
     fired: u64,
     peak_depth: usize,
 }
@@ -91,7 +95,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            cancelled: DetSet::new(),
             fired: 0,
             peak_depth: 0,
         }

@@ -3,8 +3,10 @@
 //! This crate replaces the commercial CSIM library the original paper used:
 //! it provides a simulation clock ([`SimTime`]), a deterministic event
 //! scheduler ([`Scheduler`]), CSIM-style FIFO queueing facilities
-//! ([`Facility`]), seeded random substreams ([`SimRng`]), and the online
-//! estimators the protocols rely on ([`Welford`], [`Ewma`]).
+//! ([`Facility`]), seeded random substreams ([`SimRng`]), the online
+//! estimators the protocols rely on ([`Welford`], [`Ewma`]), and
+//! insertion-ordered deterministic collections ([`DetMap`], [`DetSet`])
+//! that replace the hash-order-dependent `std` maps in simulation code.
 //!
 //! # Examples
 //!
@@ -35,12 +37,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod det;
 mod event;
 mod facility;
 mod rng;
 mod stats;
 mod time;
 
+pub use det::{DetMap, DetSet};
 pub use event::{run_until, EventId, Scheduler};
 pub use facility::{transmission_time, Facility};
 pub use rng::{derive_seed, SimRng};

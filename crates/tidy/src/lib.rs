@@ -1,0 +1,621 @@
+//! `grococa-tidy` — the workspace determinism linter.
+//!
+//! Every figure this repository reproduces is verified by *byte
+//! comparison*: parallel sweeps against serial ones, the spatial grid
+//! against the brute-force oracle, fault-plan replays against goldens.
+//! Those checks prove determinism after the fact; this linter prevents
+//! the three classic ways of losing it from being reintroduced at all:
+//!
+//! 1. **hash-order** — iterating `std`'s randomly-seeded hashed
+//!    collections in simulation crates (use `grococa_sim::{DetMap,
+//!    DetSet}` instead);
+//! 2. **wall-clock** — reading ambient time (`Instant::now`,
+//!    `SystemTime`) inside the simulator;
+//! 3. **ambient-rng** — constructing RNGs outside `sim-core`'s seeded
+//!    substreams.
+//!
+//! Two hygiene rules ride along: **crate-hygiene** (crate roots must
+//! forbid `unsafe_code` and warn on `missing_docs`; no `dbg!`-family
+//! macros outside tests) and **repo-hygiene** (golden files referenced
+//! by tests/CI exist; `CHANGES.md` keeps its one-line-per-PR shape).
+//!
+//! Modeled on rustc's `tidy`: dependency-free, line-oriented, and fast.
+//! A finding can be suppressed where it is justified:
+//!
+//! ```text
+//! let t = Instant::now(); // tidy:allow(wall-clock): harness-side timing only
+//! ```
+//!
+//! suppresses the named rule on that line, and
+//!
+//! ```text
+//! // tidy:allow-file(hash-order): this module *implements* DetMap
+//! ```
+//!
+//! suppresses it for the whole file. Both forms **require** a non-empty
+//! justification after the colon; a bare `tidy:allow(rule)` is itself
+//! reported as a `suppression` finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates on the simulation path: everything that executes between a
+/// seed and a reported figure. The `hash-order` rule applies here.
+pub const SIM_PATH_CRATES: &[&str] = &[
+    "sim-core",
+    "core",
+    "cache",
+    "net",
+    "mobility",
+    "signature",
+    "workload",
+    "power",
+];
+
+/// Crates allowed to read the wall clock: measurement harnesses that
+/// sit *outside* the simulation (their timings are reported, never fed
+/// back into simulated behaviour).
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli", "tidy"];
+
+/// The rule registry: `(id, summary)` for every rule `tidy:allow(..)`
+/// may name.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-order",
+        "std hashed collections are banned in sim-path crates; use DetMap/DetSet",
+    ),
+    (
+        "wall-clock",
+        "ambient time (Instant::now / SystemTime) is banned outside bench/cli",
+    ),
+    (
+        "ambient-rng",
+        "RNG construction is banned outside sim-core's seeded substreams",
+    ),
+    (
+        "crate-hygiene",
+        "crate roots must forbid unsafe_code and warn missing_docs; no dbg!/todo!/unimplemented! outside tests",
+    ),
+    (
+        "repo-hygiene",
+        "referenced golden files must exist; CHANGES.md keeps one line per PR",
+    ),
+    (
+        "suppression",
+        "tidy:allow directives must name a known rule and carry a justification",
+    ),
+];
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// The finding as one machine-readable JSON object (no trailing
+    /// newline). Hand-rolled so the linter stays dependency-free.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Is `haystack` containing `token` as a whole word at some position?
+/// "Word" characters are `[A-Za-z0-9_]`; the token itself may contain
+/// punctuation (e.g. `Instant::now`), in which case only its ends are
+/// boundary-checked.
+fn has_token(haystack: &str, token: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let left_ok = start == 0 || !is_word(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_word(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// A parsed `tidy:allow` / `tidy:allow-file` directive.
+struct Directive {
+    rule: String,
+    justified: bool,
+    whole_file: bool,
+}
+
+/// Parses every directive on `line` (usually zero or one).
+fn parse_directives(line: &str) -> Vec<Directive> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("tidy:allow") {
+        let start = from + pos;
+        let rest = &line[start + "tidy:allow".len()..];
+        let (whole_file, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            from = start + 1;
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            from = start + 1;
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let justified = matches!(after.strip_prefix(':'), Some(j) if !j.trim().is_empty());
+        out.push(Directive {
+            rule,
+            justified,
+            whole_file,
+        });
+        from = start + 1;
+    }
+    out
+}
+
+/// Which workspace crate does a repo-relative path belong to?
+/// Top-level `src/`, `tests/`, `benches/`, `examples/` belong to the
+/// root `grococa` facade crate.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    Some(rest.split('/').next().unwrap_or(rest))
+}
+
+/// Is this path test-or-bench collateral (integration tests, benches)?
+fn path_is_test(rel_path: &str) -> bool {
+    rel_path.contains("/tests/") || rel_path.contains("/benches/") || rel_path.starts_with("tests/")
+}
+
+/// Is this path a crate root (`lib.rs`) that must carry the hygiene
+/// pragmas?
+fn is_crate_root(rel_path: &str) -> bool {
+    if rel_path == "src/lib.rs" {
+        return true;
+    }
+    match rel_path.strip_prefix("crates/") {
+        Some(rest) => {
+            let mut it = rest.split('/');
+            let _crate = it.next();
+            it.next() == Some("src") && it.next() == Some("lib.rs") && it.next().is_none()
+        }
+        None => false,
+    }
+}
+
+const HASH_ORDER_TOKENS: &[&str] = &["HashMap", "HashSet"];
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
+const AMBIENT_RNG_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "seed_from_u64",
+    "SmallRng",
+    "StdRng",
+    "OsRng",
+];
+const BANNED_MACRO_TOKENS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
+
+/// Lints one source file's content. `rel_path` is the repo-relative
+/// path with forward slashes; it determines which rules apply (crate
+/// classification, test context).
+///
+/// This is the unit the fixture tests drive directly: they pass
+/// synthetic paths like `crates/cache/src/sample.rs` to pick the rule
+/// set under test.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let krate = crate_of(rel_path);
+
+    // The linter's own sources name every banned token (rule tables,
+    // fixtures-by-construction), so content rules skip it; the
+    // crate-root pragma check below still applies.
+    let self_exempt = krate == Some("tidy");
+
+    let sim_path = krate.is_some_and(|c| SIM_PATH_CRATES.contains(&c));
+    let wall_clock_exempt = krate.is_some_and(|c| WALL_CLOCK_EXEMPT_CRATES.contains(&c));
+    let rng_home = rel_path == "crates/sim-core/src/rng.rs";
+    let file_is_test = path_is_test(rel_path);
+
+    // Pass 1: file-level suppressions (and their well-formedness). The
+    // self-exempt linter sources mention directives in prose and tests,
+    // so they are not parsed there.
+    let mut allow_file: Vec<String> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        if self_exempt {
+            break;
+        }
+        for d in parse_directives(line) {
+            let known = RULES.iter().any(|(id, _)| *id == d.rule);
+            if !known {
+                findings.push(Finding {
+                    rule: "suppression",
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    message: format!("tidy:allow names unknown rule `{}`", d.rule),
+                });
+            } else if !d.justified {
+                findings.push(Finding {
+                    rule: "suppression",
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "suppression of `{}` lacks a justification (`tidy:allow({}): <why>`)",
+                        d.rule, d.rule
+                    ),
+                });
+            } else if d.whole_file {
+                allow_file.push(d.rule);
+            }
+        }
+    }
+
+    // Pass 2: line rules. Once a `#[cfg(test)]` attribute appears the
+    // rest of the file is treated as test context (the workspace
+    // convention keeps test modules at the bottom of the file).
+    let mut in_cfg_test = false;
+    for (idx, line) in source.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_cfg_test = true;
+        }
+        let in_test = file_is_test || in_cfg_test;
+        if self_exempt {
+            continue;
+        }
+        let allowed = |rule: &str| {
+            allow_file.iter().any(|r| r == rule)
+                || parse_directives(line)
+                    .iter()
+                    .any(|d| d.rule == rule && d.justified)
+        };
+
+        if sim_path {
+            for tok in HASH_ORDER_TOKENS {
+                if has_token(line, tok) && !allowed("hash-order") {
+                    findings.push(Finding {
+                        rule: "hash-order",
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{tok}` iterates in hash order (a replay hazard); use \
+                             grococa_sim::DetMap/DetSet or justify with tidy:allow"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !wall_clock_exempt {
+            for tok in WALL_CLOCK_TOKENS {
+                if has_token(line, tok) && !allowed("wall-clock") {
+                    findings.push(Finding {
+                        rule: "wall-clock",
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{tok}` reads ambient time inside the simulation path; thread \
+                             elapsed-time measurement in from a harness crate"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !rng_home {
+            for tok in AMBIENT_RNG_TOKENS {
+                if has_token(line, tok) && !allowed("ambient-rng") {
+                    findings.push(Finding {
+                        rule: "ambient-rng",
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{tok}` constructs an RNG outside sim-core's seeded substreams; \
+                             derive a stream via grococa_sim::SimRng instead"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !in_test {
+            for tok in BANNED_MACRO_TOKENS {
+                if line.contains(tok) && !allowed("crate-hygiene") {
+                    findings.push(Finding {
+                        rule: "crate-hygiene",
+                        path: rel_path.to_string(),
+                        line: idx + 1,
+                        message: format!("`{}` must not ship outside tests", &tok[..tok.len() - 1]),
+                    });
+                }
+            }
+        }
+    }
+
+    // Crate-root pragma check (applies to every crate, tidy included).
+    if is_crate_root(rel_path) {
+        for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !source.lines().any(|l| l.trim() == pragma) {
+                findings.push(Finding {
+                    rule: "crate-hygiene",
+                    path: rel_path.to_string(),
+                    line: 0,
+                    message: format!("crate root is missing `{pragma}`"),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+/// Repo-level checks: referenced golden files exist, `CHANGES.md` keeps
+/// its shape.
+pub fn check_repo(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Golden-file references: any token containing "golden" and ending
+    // in .txt/.json, in test sources or CI workflows, must resolve
+    // relative to the referencing file or the repo root.
+    let mut referencing: Vec<PathBuf> = Vec::new();
+    collect_files(&root.join("tests"), "rs", &mut referencing);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            // The linter's own tests name missing goldens on purpose
+            // (fixture corpus + assertions about them).
+            if e.file_name().to_string_lossy() == "tidy" {
+                continue;
+            }
+            collect_files(&e.path().join("tests"), "rs", &mut referencing);
+        }
+    }
+    collect_files(&root.join(".github/workflows"), "yml", &mut referencing);
+    for file in referencing {
+        let Ok(content) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = rel_to(root, &file);
+        for (idx, line) in content.lines().enumerate() {
+            for token in golden_refs(line) {
+                let from_file = file.parent().map(|d| d.join(&token));
+                let exists =
+                    root.join(&token).exists() || from_file.as_deref().is_some_and(Path::exists);
+                if !exists {
+                    findings.push(Finding {
+                        rule: "repo-hygiene",
+                        path: rel.clone(),
+                        line: idx + 1,
+                        message: format!("referenced golden file `{token}` does not exist"),
+                    });
+                }
+            }
+        }
+    }
+
+    // CHANGES.md: present, non-empty, one `PR <n>: ...` line per entry.
+    findings.extend(check_changes_file(&root.join("CHANGES.md"), root));
+    findings
+}
+
+/// Validates one `CHANGES.md`-shaped file (separated out so fixtures
+/// can exercise it against synthetic files).
+pub fn check_changes_file(path: &Path, root: &Path) -> Vec<Finding> {
+    let rel = rel_to(root, path);
+    let Ok(content) = fs::read_to_string(path) else {
+        return vec![Finding {
+            rule: "repo-hygiene",
+            path: rel,
+            line: 0,
+            message: "CHANGES.md is missing: every PR must append a one-line entry".to_string(),
+        }];
+    };
+    let mut findings = Vec::new();
+    let mut entries = 0usize;
+    for (idx, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let well_formed = line
+            .strip_prefix("PR ")
+            .and_then(|r| r.split_once(':'))
+            .is_some_and(|(n, rest)| n.trim().parse::<u64>().is_ok() && !rest.trim().is_empty());
+        if well_formed {
+            entries += 1;
+        } else {
+            findings.push(Finding {
+                rule: "repo-hygiene",
+                path: rel.clone(),
+                line: idx + 1,
+                message: "CHANGES.md lines must look like `PR <n>: <summary>`".to_string(),
+            });
+        }
+    }
+    if entries == 0 {
+        findings.push(Finding {
+            rule: "repo-hygiene",
+            path: rel,
+            line: 0,
+            message: "CHANGES.md has no `PR <n>: <summary>` entries".to_string(),
+        });
+    }
+    findings
+}
+
+/// Tokens in `line` that look like golden-file paths.
+fn golden_refs(line: &str) -> Vec<String> {
+    line.split(|c: char| !(c.is_ascii_alphanumeric() || "._-/".contains(c)))
+        .filter(|t| t.contains("golden") && (t.ends_with(".txt") || t.ends_with(".json")))
+        .map(str::to_string)
+        .collect()
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_files(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_files(&p, ext, out);
+        } else if p.extension().is_some_and(|e| e == ext) {
+            out.push(p);
+        }
+    }
+}
+
+/// Directories the source walk never descends into: build output, VCS
+/// metadata, vendored third-party stand-ins (not ours to lint), and the
+/// linter's own deliberately-violating fixture corpus.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor"];
+const SKIP_PREFIXES: &[&str] = &["crates/tidy/tests/fixtures"];
+
+/// Walks the workspace at `root` and returns every finding, sorted by
+/// path then line for stable output.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            let rel = rel_to(root, &p);
+            if p.is_dir() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                if SKIP_DIRS.contains(&name.as_ref())
+                    || name.starts_with('.')
+                    || SKIP_PREFIXES.iter().any(|pre| rel == *pre)
+                {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|ext| ext == "rs") {
+                if let Ok(content) = fs::read_to_string(&p) {
+                    findings.extend(scan_source(&rel, &content));
+                }
+            }
+        }
+    }
+    findings.extend(check_repo(root));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_matching_respects_word_boundaries() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("let MyHashMapLike = 1;", "HashMap"));
+        assert!(has_token("a HashMap<K,V> b", "HashMap"));
+        assert!(has_token("std::time::Instant::now()", "Instant::now"));
+        assert!(!has_token("xInstant::nowy", "Instant::now"));
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let d = parse_directives("x // tidy:allow(hash-order): index only");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "hash-order");
+        assert!(d[0].justified);
+        assert!(!d[0].whole_file);
+
+        let d = parse_directives("// tidy:allow-file(ambient-rng): fixture");
+        assert!(d[0].whole_file);
+
+        let d = parse_directives("// tidy:allow(wall-clock)");
+        assert!(!d[0].justified);
+
+        let d = parse_directives("// tidy:allow(wall-clock):   ");
+        assert!(!d[0].justified);
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/cache/src/lib.rs"), Some("cache"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert!(is_crate_root("crates/net/src/lib.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/net/src/ndp.rs"));
+        assert!(!is_crate_root("crates/net/src/lib.rs/x.rs"));
+    }
+
+    #[test]
+    fn golden_ref_extraction() {
+        let refs = golden_refs("cmp tests/golden_fig8.txt fig8_now.txt");
+        assert_eq!(refs, ["tests/golden_fig8.txt"]);
+        assert!(golden_refs("no refs here").is_empty());
+    }
+
+    #[test]
+    fn json_output_escapes() {
+        let f = Finding {
+            rule: "hash-order",
+            path: "a\"b.rs".to_string(),
+            line: 3,
+            message: "x\\y".to_string(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"rule\":\"hash-order\",\"path\":\"a\\\"b.rs\",\"line\":3,\"message\":\"x\\\\y\"}"
+        );
+    }
+}

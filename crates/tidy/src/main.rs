@@ -1,0 +1,91 @@
+//! The `grococa-tidy` command-line entry point.
+//!
+//! ```text
+//! grococa-tidy [--root <dir>] [--json] [--list-rules]
+//! ```
+//!
+//! Walks the workspace (found by searching upward from the current
+//! directory unless `--root` is given), prints every finding, and exits
+//! non-zero if there are any — which is what makes the determinism
+//! invariants CI-enforced rather than conventional.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grococa_tidy::{check_workspace, RULES};
+
+/// Searches upward from `start` for the workspace root (the directory
+/// whose `Cargo.toml` declares `[workspace]`).
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (id, summary) in RULES {
+                    println!("{id:14} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("usage: grococa-tidy [--root <dir>] [--json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| find_root(std::env::current_dir().ok()?)) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = check_workspace(&root);
+    for f in &findings {
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("tidy: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tidy: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,209 @@
+//! Fixture-backed tests for every tidy rule: one violating and one
+//! suppressed sample per rule, asserting exact rule ids and line
+//! numbers, plus rejection of suppressions without a justification.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from the workspace
+//! walk — they violate on purpose) and are scanned with *synthetic*
+//! repo-relative paths so each test picks the crate classification it
+//! needs.
+
+use std::path::Path;
+
+use grococa_tidy::{check_changes_file, check_repo, check_workspace, scan_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn hash_order_flags_sim_path_collections() {
+    let f = scan_source(
+        "crates/cache/src/sample.rs",
+        &fixture("hash_order_violate.rs"),
+    );
+    assert_eq!(lines_of(&f, "hash-order"), [3, 5, 6]);
+    assert_eq!(f.len(), 3, "only hash-order findings expected: {f:?}");
+}
+
+#[test]
+fn hash_order_ignores_non_sim_crates() {
+    // The same source in a harness crate is fine: the rule is scoped to
+    // the simulation path.
+    let f = scan_source(
+        "crates/bench/src/sample.rs",
+        &fixture("hash_order_violate.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_order_respects_per_line_suppression() {
+    let f = scan_source(
+        "crates/net/src/sample.rs",
+        &fixture("hash_order_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_order_respects_file_suppression() {
+    let f = scan_source(
+        "crates/sim-core/src/sample.rs",
+        &fixture("hash_order_allow_file.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wall_clock_flags_ambient_time() {
+    let f = scan_source(
+        "crates/core/src/sample.rs",
+        &fixture("wall_clock_violate.rs"),
+    );
+    assert_eq!(lines_of(&f, "wall-clock"), [4, 5]);
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn wall_clock_exempts_harness_crates() {
+    for krate in ["bench", "cli"] {
+        let path = format!("crates/{krate}/src/sample.rs");
+        let f = scan_source(&path, &fixture("wall_clock_violate.rs"));
+        assert!(f.is_empty(), "{krate}: {f:?}");
+    }
+}
+
+#[test]
+fn wall_clock_respects_suppression() {
+    let f = scan_source(
+        "crates/core/src/sample.rs",
+        &fixture("wall_clock_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn ambient_rng_flags_construction_outside_sim_core() {
+    let f = scan_source(
+        "crates/mobility/src/sample.rs",
+        &fixture("ambient_rng_violate.rs"),
+    );
+    // Line 7 carries two banned tokens (`SmallRng` and `seed_from_u64`),
+    // so it is reported twice.
+    assert_eq!(lines_of(&f, "ambient-rng"), [3, 6, 7, 7]);
+    assert_eq!(f.len(), 4, "{f:?}");
+}
+
+#[test]
+fn ambient_rng_exempts_the_seeded_stream_home() {
+    let f = scan_source(
+        "crates/sim-core/src/rng.rs",
+        &fixture("ambient_rng_violate.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn ambient_rng_respects_suppression() {
+    let f = scan_source(
+        "crates/mobility/src/sample.rs",
+        &fixture("ambient_rng_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn crate_hygiene_flags_macros_and_missing_pragmas() {
+    let f = scan_source(
+        "crates/power/src/lib.rs",
+        &fixture("crate_hygiene_violate.rs"),
+    );
+    // dbg! on line 4, todo! on line 5, then the two whole-file pragma
+    // findings (line 0).
+    assert_eq!(lines_of(&f, "crate-hygiene"), [4, 5, 0, 0]);
+    assert_eq!(f.len(), 4, "{f:?}");
+    assert!(f.iter().any(|x| x.message.contains("forbid(unsafe_code)")));
+    assert!(f.iter().any(|x| x.message.contains("warn(missing_docs)")));
+}
+
+#[test]
+fn crate_hygiene_allows_test_confined_macros() {
+    let f = scan_source(
+        "crates/power/src/lib.rs",
+        &fixture("crate_hygiene_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn unjustified_suppressions_are_rejected_and_do_not_suppress() {
+    let f = scan_source(
+        "crates/core/src/sample.rs",
+        &fixture("suppression_unjustified.rs"),
+    );
+    // A bare `tidy:allow(rule)`, a colon-with-empty-justification, and
+    // an unknown rule: each is a `suppression` finding, and none of
+    // them actually suppresses the underlying wall-clock violation.
+    assert_eq!(lines_of(&f, "suppression"), [4, 5, 7]);
+    assert_eq!(lines_of(&f, "wall-clock"), [4, 5, 7]);
+    assert_eq!(f.len(), 6, "{f:?}");
+}
+
+#[test]
+fn repo_hygiene_flags_missing_goldens_and_malformed_changes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/repo_bad");
+    let f = check_repo(&root);
+    let golden: Vec<&Finding> = f
+        .iter()
+        .filter(|x| x.message.contains("golden_missing.txt"))
+        .collect();
+    assert_eq!(golden.len(), 1, "{f:?}");
+    assert_eq!(golden[0].rule, "repo-hygiene");
+    assert_eq!(golden[0].line, 5);
+    assert_eq!(golden[0].path, "tests/golden_refs.rs");
+
+    let changes = check_changes_file(&root.join("CHANGES.md"), &root);
+    assert_eq!(lines_of(&changes, "repo-hygiene"), [2, 3]);
+}
+
+#[test]
+fn repo_hygiene_flags_absent_changes_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let f = check_changes_file(&root.join("no_such_changes.md"), &root);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "repo-hygiene");
+    assert!(f[0].message.contains("missing"));
+}
+
+#[test]
+fn the_shipped_workspace_is_clean() {
+    // The acceptance bar for the linter: zero findings on the tree as
+    // shipped. (Reverting the sim.rs wall-clock fix or a DetMap
+    // migration makes this test — and the CI tidy gate — fail.)
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    assert!(root.join("Cargo.toml").exists());
+    let findings = check_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "tidy findings on the shipped tree:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

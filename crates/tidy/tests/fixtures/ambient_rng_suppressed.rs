@@ -1,0 +1,9 @@
+//! Suppressed sample: justified RNG construction (e.g. a differential
+//! test that must mirror the production stream bit-for-bit).
+
+use rand::rngs::SmallRng; // tidy:allow(ambient-rng): differential oracle must mirror SimRng's stream
+use rand::SeedableRng;
+
+fn oracle() -> SmallRng { // tidy:allow(ambient-rng): differential oracle must mirror SimRng's stream
+    SmallRng::seed_from_u64(42) // tidy:allow(ambient-rng): differential oracle must mirror SimRng's stream
+}

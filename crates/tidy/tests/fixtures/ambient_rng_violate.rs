@@ -1,0 +1,8 @@
+//! Violating sample: RNG construction outside sim-core's substreams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn jitter() -> SmallRng {
+    SmallRng::seed_from_u64(42)
+}

@@ -1,0 +1,18 @@
+//! Clean crate root: pragmas present, debug macro confined to tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Doubles `x`.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        dbg!(super::double(2));
+        assert_eq!(super::double(2), 4);
+    }
+}

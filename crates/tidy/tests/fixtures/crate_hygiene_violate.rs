@@ -1,0 +1,6 @@
+//! Violating crate root: missing both hygiene pragmas, ships a dbg!.
+
+fn probe(x: u32) -> u32 {
+    dbg!(x);
+    todo!("finish the probe")
+}

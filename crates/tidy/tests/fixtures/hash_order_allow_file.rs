@@ -1,0 +1,8 @@
+//! Suppressed sample: whole-file directive (wrapper-module style).
+// tidy:allow-file(hash-order): this fixture models a module that wraps the std map
+
+use std::collections::HashMap;
+
+struct Wrapper {
+    index: HashMap<u64, usize>,
+}

@@ -1,0 +1,8 @@
+//! Suppressed sample: membership-only set, justified per line.
+
+use std::collections::HashSet; // tidy:allow(hash-order): membership-only; iteration order never observed
+
+fn seen() -> usize {
+    let seen: HashSet<u64> = HashSet::new(); // tidy:allow(hash-order): membership-only; iteration order never observed
+    seen.len()
+}

@@ -1,0 +1,8 @@
+//! Violating sample: hashed collections on the simulation path.
+
+use std::collections::HashMap;
+
+fn popularity() -> HashSet<u64> {
+    let histogram: HashMap<u64, u32> = HashMap::new();
+    histogram.keys().copied().collect()
+}

@@ -1,0 +1,6 @@
+//! References a golden file that does not exist anywhere.
+
+#[test]
+fn compares_against_golden() {
+    let _ = "tests/golden_missing.txt";
+}

@@ -1,0 +1,10 @@
+//! Rejected sample: suppressions without a justification string.
+
+fn run() -> f64 {
+    let started = std::time::Instant::now(); // tidy:allow(wall-clock)
+    let t = std::time::Instant::now(); // tidy:allow(wall-clock):
+    let _ = t;
+    let u = std::time::Instant::now(); // tidy:allow(no-such-rule): not a registered rule
+    let _ = u;
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! Suppressed sample: a justified harness-side measurement.
+
+fn run() -> f64 {
+    let started = std::time::Instant::now(); // tidy:allow(wall-clock): reporting-only; never fed back into simulated behaviour
+    started.elapsed().as_secs_f64()
+}

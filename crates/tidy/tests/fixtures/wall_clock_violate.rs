@@ -1,0 +1,8 @@
+//! Violating sample: ambient time inside the simulator.
+
+fn run() -> f64 {
+    let started = std::time::Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+    started.elapsed().as_secs_f64()
+}

@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn item_id_is_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let mut set = HashSet::new();
+        // DetSet requires Hash, so inserting proves ItemId is hashable.
+        let mut set = grococa_sim::DetSet::new();
         set.insert(ItemId::new(1));
         assert!(set.contains(&ItemId::new(1)));
         assert!(ItemId::new(1) < ItemId::new(2));

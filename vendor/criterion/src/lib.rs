@@ -87,6 +87,9 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        // The group fn is only reached through `criterion_main!` in a
+        // bench target; in other build contexts it is unreachable pub.
+        #[allow(unreachable_pub, dead_code)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
