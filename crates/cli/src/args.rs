@@ -31,6 +31,15 @@ pub enum Command {
         param: String,
         /// The values to sweep.
         values: Vec<f64>,
+        /// Write-ahead result journal path (`--journal`): each completed
+        /// cell is appended and fsync'd, so a killed sweep can resume.
+        journal: Option<std::path::PathBuf>,
+        /// Resume from the journal (`--resume`): verified completed cells
+        /// are skipped, missing/failed ones re-run.
+        resume: bool,
+        /// Quarantine panicking cells as FAILED rows instead of aborting
+        /// the grid (`--keep-going`); maps to exit code 3.
+        keep_going: bool,
     },
     /// Print usage.
     Help,
@@ -59,7 +68,7 @@ grococa — group-based P2P cooperative caching simulator
 USAGE:
     grococa run     [OPTIONS]          one run, one scheme
     grococa compare [OPTIONS]          one configuration, all three schemes
-    grococa sweep --param NAME --values V1,V2,... [OPTIONS]
+    grococa sweep --param NAME --values V1,V2,... [SWEEP OPTIONS] [OPTIONS]
     grococa help
 
 OPTIONS (all optional; defaults are the paper's Table II):
@@ -88,9 +97,24 @@ OPTIONS (all optional; defaults are the paper's Table II):
     --account-beacons          meter NDP beacon power
     --csv                      machine-readable CSV output
 
+SWEEP OPTIONS (crash safety; sweeps run on a GROCOCA_JOBS-wide pool):
+    --journal FILE             append each completed cell to a fsync'd
+                               write-ahead journal (crash-safe)
+    --resume                   skip cells already completed in FILE
+                               (verifies checksums + sweep fingerprint;
+                               requires --journal)
+    --keep-going               quarantine panicking cells as FAILED rows
+                               instead of aborting the sweep
+
 SWEEPABLE PARAMETERS:
     cache_size, theta, access_range, group_size, update_rate, p_disc,
     clients, hop_dist, delta_similarity
+
+EXIT CODES:
+    0  success
+    1  usage mistake, journal refusal, or aborted sweep
+    2  semantically invalid configuration
+    3  sweep completed with quarantined (FAILED) cells
 ";
 
 /// Applies `--flag value` to the config. Returns whether the flag consumed
@@ -207,6 +231,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
     let mut csv = false;
     let mut param: Option<String> = None;
     let mut values: Vec<f64> = Vec::new();
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut keep_going = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -215,6 +242,22 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
         match flag {
             "--csv" => {
                 csv = true;
+                i += 1;
+            }
+            "--journal" => {
+                journal = Some(
+                    value
+                        .ok_or_else(|| err("--journal needs a file path"))?
+                        .into(),
+                );
+                i += 2;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--keep-going" => {
+                keep_going = true;
                 i += 1;
             }
             "--param" => {
@@ -244,6 +287,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
         }
     }
 
+    if command.as_str() != "sweep" {
+        for (set, flag) in [
+            (journal.is_some(), "--journal"),
+            (resume, "--resume"),
+            (keep_going, "--keep-going"),
+        ] {
+            if set {
+                return Err(err(format!("{flag} is only valid with `sweep`")));
+            }
+        }
+    }
+    if resume && journal.is_none() {
+        return Err(err("--resume requires --journal FILE"));
+    }
+
     let command = match command.as_str() {
         "run" => Command::Run(Box::new(cfg)),
         "compare" => Command::Compare(Box::new(cfg)),
@@ -258,6 +316,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
                 base: Box::new(cfg),
                 param,
                 values,
+                journal,
+                resume,
+                keep_going,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -316,6 +377,38 @@ mod tests {
         assert!(parse_args(&argv("sweep --values 1,2")).is_err());
         assert!(parse_args(&argv("sweep --param theta")).is_err());
         assert!(parse_args(&argv("sweep --param bogus --values 1")).is_err());
+    }
+
+    #[test]
+    fn sweep_durability_flags_parse() {
+        let cli = parse_args(&argv(
+            "sweep --param theta --values 0.2,0.8 --journal out.gcj --resume --keep-going",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep {
+                journal,
+                resume,
+                keep_going,
+                ..
+            } => {
+                assert_eq!(journal.as_deref(), Some(std::path::Path::new("out.gcj")));
+                assert!(resume);
+                assert!(keep_going);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durability_flags_are_sweep_only_and_consistent() {
+        let e = parse_args(&argv("run --journal j.gcj")).unwrap_err();
+        assert!(e.to_string().contains("only valid with `sweep`"));
+        assert!(parse_args(&argv("compare --resume")).is_err());
+        assert!(parse_args(&argv("run --keep-going")).is_err());
+        let e = parse_args(&argv("sweep --param theta --values 0.2 --resume")).unwrap_err();
+        assert!(e.to_string().contains("requires --journal"));
+        assert!(parse_args(&argv("sweep --param theta --values 0.2 --journal")).is_err());
     }
 
     #[test]

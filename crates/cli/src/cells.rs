@@ -1,0 +1,242 @@
+//! Journal payload codec for sweep cells, plus the sweep fingerprint.
+//!
+//! Each journal record is one cell's outcome. The encoding is fixed-layout
+//! and exact — `f64` metrics travel as IEEE bit patterns — so a resumed
+//! sweep renders **byte-identical** output to an uninterrupted one.
+//!
+//! ```text
+//! payload: cell_index u64 LE │ status u8 (1 = ok, 0 = failed)
+//!   ok:     16 report fields, each 8 bytes LE (u64 or f64 bits),
+//!           in `Report` declaration order
+//!   failed: panic_len u32 LE │ panic text (UTF-8)
+//! ```
+//!
+//! Decoding is total: anything malformed yields `None`, never a panic —
+//! the journal layer already checksums records, so a decode failure here
+//! means a version skew the fingerprint should have caught, and the cell
+//! is simply re-run.
+
+use grococa_core::{Report, Scheme, SimConfig};
+use grococa_journal::Fingerprint;
+
+/// One journaled cell outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellRecord {
+    /// The cell completed with this report.
+    Ok(Report),
+    /// The cell was quarantined; the payload carries its panic text.
+    Failed(String),
+}
+
+/// The sweep fingerprint stored in the journal header: canonical base
+/// config hash folded with the swept parameter, the value list and the
+/// scheme labels, plus the grid shape and this crate's version. Any
+/// difference — another parameter, one more value, a changed base config,
+/// a rebuilt binary — refuses resume.
+pub fn sweep_fingerprint(
+    base: &SimConfig,
+    param: &str,
+    values: &[f64],
+    cells: usize,
+) -> Fingerprint {
+    let mut tag = Vec::new();
+    tag.extend_from_slice(&base.canonical_fingerprint().to_le_bytes());
+    tag.extend_from_slice(param.as_bytes());
+    tag.push(0);
+    for v in values {
+        tag.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+        tag.extend_from_slice(scheme.label().as_bytes());
+        tag.push(0);
+    }
+    Fingerprint {
+        config_hash: grococa_journal::checksum(&tag),
+        cells: cells as u64,
+        version: env!("CARGO_PKG_VERSION").to_string(),
+    }
+}
+
+/// The 16 report fields as raw 8-byte words, declaration order.
+fn report_words(r: &Report) -> [u64; 16] {
+    [
+        r.completed,
+        r.access_latency_ms.to_bits(),
+        r.latency_stddev_ms.to_bits(),
+        r.local_hit_ratio_pct.to_bits(),
+        r.global_hit_ratio_pct.to_bits(),
+        r.server_request_ratio_pct.to_bits(),
+        r.push_hit_ratio_pct.to_bits(),
+        r.tcg_share_of_global_pct.to_bits(),
+        r.total_power_uws.to_bits(),
+        r.power_per_gch_uws.to_bits(),
+        r.power_per_request_uws.to_bits(),
+        r.signature_messages,
+        r.signature_bytes,
+        r.search_timeouts,
+        r.filter_bypasses,
+        r.validations,
+    ]
+}
+
+fn report_from_words(w: &[u64; 16]) -> Report {
+    Report {
+        completed: w[0],
+        access_latency_ms: f64::from_bits(w[1]),
+        latency_stddev_ms: f64::from_bits(w[2]),
+        local_hit_ratio_pct: f64::from_bits(w[3]),
+        global_hit_ratio_pct: f64::from_bits(w[4]),
+        server_request_ratio_pct: f64::from_bits(w[5]),
+        push_hit_ratio_pct: f64::from_bits(w[6]),
+        tcg_share_of_global_pct: f64::from_bits(w[7]),
+        total_power_uws: f64::from_bits(w[8]),
+        power_per_gch_uws: f64::from_bits(w[9]),
+        power_per_request_uws: f64::from_bits(w[10]),
+        signature_messages: w[11],
+        signature_bytes: w[12],
+        search_timeouts: w[13],
+        filter_bypasses: w[14],
+        validations: w[15],
+    }
+}
+
+/// Encodes a completed cell.
+pub fn encode_ok(index: usize, report: &Report) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1 + 16 * 8);
+    out.extend_from_slice(&(index as u64).to_le_bytes());
+    out.push(1);
+    for word in report_words(report) {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a quarantined cell (informational; resume re-runs it).
+pub fn encode_failed(index: usize, panic_text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1 + 4 + panic_text.len());
+    out.extend_from_slice(&(index as u64).to_le_bytes());
+    out.push(0);
+    out.extend_from_slice(&(panic_text.len() as u32).to_le_bytes());
+    out.extend_from_slice(panic_text.as_bytes());
+    out
+}
+
+/// Decodes one journal payload. Total: malformed input is `None`.
+pub fn decode(payload: &[u8]) -> Option<(usize, CellRecord)> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let index = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let index = usize::try_from(index).ok()?;
+    let body = &payload[9..];
+    match payload[8] {
+        1 => {
+            if body.len() != 16 * 8 {
+                return None;
+            }
+            let mut words = [0u64; 16];
+            for (i, chunk) in body.chunks_exact(8).enumerate() {
+                words[i] = u64::from_le_bytes(chunk.try_into().ok()?);
+            }
+            Some((index, CellRecord::Ok(report_from_words(&words))))
+        }
+        0 => {
+            if body.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(body[..4].try_into().ok()?) as usize;
+            if body.len() != 4 + len {
+                return None;
+            }
+            let text = std::str::from_utf8(&body[4..]).ok()?;
+            Some((index, CellRecord::Failed(text.to_string())))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grococa_core::{SimConfig, Simulation};
+
+    fn sample_report() -> Report {
+        let cfg = SimConfig {
+            num_clients: 10,
+            requests_per_mh: 15,
+            ..SimConfig::default()
+        };
+        Simulation::new(cfg).run().report
+    }
+
+    #[test]
+    fn ok_record_round_trips_exactly() {
+        let report = sample_report();
+        let (index, decoded) = decode(&encode_ok(42, &report)).expect("decodes");
+        assert_eq!(index, 42);
+        match decoded {
+            CellRecord::Ok(r) => assert_eq!(report_words(&r), report_words(&report)),
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinities_survive_the_round_trip() {
+        let report = Report {
+            power_per_gch_uws: f64::INFINITY,
+            ..sample_report()
+        };
+        match decode(&encode_ok(0, &report)).expect("decodes").1 {
+            CellRecord::Ok(r) => assert!(r.power_per_gch_uws.is_infinite()),
+            other => panic!("wrong record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_record_round_trips() {
+        let (index, decoded) = decode(&encode_failed(7, "boom: cell exploded")).expect("decodes");
+        assert_eq!(index, 7);
+        assert_eq!(
+            decoded,
+            CellRecord::Failed("boom: cell exploded".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_none() {
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&[0; 8]), None);
+        let mut ok = encode_ok(1, &sample_report());
+        ok.truncate(ok.len() - 1);
+        assert_eq!(decode(&ok), None);
+        let mut failed = encode_failed(1, "text");
+        failed.push(0xFF);
+        assert_eq!(decode(&failed), None);
+        let mut bad_status = encode_ok(1, &sample_report());
+        bad_status[8] = 9;
+        assert_eq!(decode(&bad_status), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sweeps() {
+        let base = SimConfig::default();
+        let fp = sweep_fingerprint(&base, "theta", &[0.2, 0.8], 6);
+        assert_eq!(fp, sweep_fingerprint(&base, "theta", &[0.2, 0.8], 6));
+        assert_ne!(
+            fp.config_hash,
+            sweep_fingerprint(&base, "theta", &[0.2, 0.9], 6).config_hash
+        );
+        assert_ne!(
+            fp.config_hash,
+            sweep_fingerprint(&base, "p_disc", &[0.2, 0.8], 6).config_hash
+        );
+        let other = SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        };
+        assert_ne!(
+            fp.config_hash,
+            sweep_fingerprint(&other, "theta", &[0.2, 0.8], 6).config_hash
+        );
+    }
+}

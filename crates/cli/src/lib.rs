@@ -6,19 +6,26 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod cells;
 pub mod output;
 
 use std::fmt;
+use std::sync::Mutex;
 
-use grococa_core::{ConfigError, Scheme, Simulation};
+use grococa_core::{ConfigError, Scheme, SimConfig, Simulation};
+use grococa_journal::{Journal, JournalError};
+use grococa_par::SuperviseOptions;
 
 use args::{apply_sweep_value, ArgError, Cli, Command};
+use cells::CellRecord;
 use output::Row;
 
 /// Everything that can go wrong executing a command line. The binary maps
-/// the two variants to distinct exit codes (1 for usage mistakes, 2 for
-/// semantically invalid configurations).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the variants to distinct exit codes: 1 for usage mistakes, journal
+/// refusals and aborted sweeps; 2 for semantically invalid
+/// configurations. (Exit 3 — a sweep that *completed* with quarantined
+/// cells — is not an error; see [`ExecOutcome::quarantined`].)
+#[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
     /// The command line itself was malformed.
     Args(ArgError),
@@ -26,6 +33,12 @@ pub enum CliError {
     /// configuration (caught by [`grococa_core::SimConfig::validate`]
     /// before any simulation is built).
     Config(ConfigError),
+    /// The result journal refused to open: unreadable header, fingerprint
+    /// mismatch, or an I/O failure.
+    Journal(JournalError),
+    /// A sweep cell failed past its retry budget and `--keep-going` was
+    /// not given; the message names the first failing cell.
+    Sweep(String),
 }
 
 impl fmt::Display for CliError {
@@ -33,6 +46,8 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Config(e) => write!(f, "{e}"),
+            CliError::Journal(e) => write!(f, "{e}"),
+            CliError::Sweep(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,17 +66,60 @@ impl From<ConfigError> for CliError {
     }
 }
 
+impl From<JournalError> for CliError {
+    fn from(e: JournalError) -> Self {
+        CliError::Journal(e)
+    }
+}
+
+/// The result of executing a command line: the rendered output plus how
+/// many sweep cells were quarantined as `FAILED` rows (always zero
+/// outside `sweep --keep-going`). The binary maps a non-zero count to
+/// exit code 3 — "completed with quarantined cells".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// The rendered table or CSV.
+    pub rendered: String,
+    /// Sweep cells that failed past their retry budget.
+    pub quarantined: usize,
+}
+
+/// The environment variable of the chaos test hook: a comma-separated
+/// list of sweep cell indices that panic instead of simulating. Exists so
+/// the quarantine/`FAILED`/exit-3 path is drivable end-to-end from the
+/// integration tests and CI; never set it in real use.
+pub const CHAOS_ENV: &str = "GROCOCA_CHAOS_FAIL_CELLS";
+
+fn chaos_cells() -> Vec<usize> {
+    std::env::var(CHAOS_ENV)
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default()
+}
+
 /// Executes a parsed command line, returning the rendered output (the
-/// binary prints it; tests inspect it).
+/// binary prints it; tests inspect it). Shorthand for
+/// [`execute_outcome`] when the quarantine count is not needed.
+///
+/// # Errors
+///
+/// See [`execute_outcome`].
+pub fn execute(cli: &Cli) -> Result<String, CliError> {
+    execute_outcome(cli).map(|out| out.rendered)
+}
+
+/// Executes a parsed command line, returning the rendered output and the
+/// number of quarantined sweep cells.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Args`] if a sweep value is invalid for its
-/// parameter, and [`CliError::Config`] if any resulting configuration
-/// fails validation — every config is validated before a simulation is
+/// parameter, [`CliError::Config`] if any resulting configuration fails
+/// validation — every config is validated before a simulation is
 /// constructed, so a bad cell in a sweep fails fast instead of panicking
-/// mid-grid.
-pub fn execute(cli: &Cli) -> Result<String, CliError> {
+/// mid-grid — [`CliError::Journal`] if the result journal refuses to
+/// open, and [`CliError::Sweep`] if a cell fails without `--keep-going`.
+pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
     let render = |rows: &[Row]| {
         if cli.csv {
             output::to_csv(rows)
@@ -69,16 +127,16 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
             output::to_table(rows)
         }
     };
+    let done = |rendered: String| ExecOutcome {
+        rendered,
+        quarantined: 0,
+    };
     match &cli.command {
-        Command::Help => Ok(args::USAGE.to_string()),
+        Command::Help => Ok(done(args::USAGE.to_string())),
         Command::Run(cfg) => {
             cfg.validate()?;
             let report = Simulation::new((**cfg).clone()).run().report;
-            Ok(render(&[Row {
-                scheme: cfg.scheme,
-                x: None,
-                report,
-            }]))
+            Ok(done(render(&[Row::ok(cfg.scheme, None, report)])))
         }
         Command::Compare(cfg) => {
             cfg.validate()?;
@@ -87,19 +145,18 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 .map(|scheme| {
                     let mut c = (**cfg).clone();
                     c.scheme = scheme;
-                    Row {
-                        scheme,
-                        x: None,
-                        report: Simulation::new(c).run().report,
-                    }
+                    Row::ok(scheme, None, Simulation::new(c).run().report)
                 })
                 .collect();
-            Ok(render(&rows))
+            Ok(done(render(&rows)))
         }
         Command::Sweep {
             base,
             param,
             values,
+            journal,
+            resume,
+            keep_going,
         } => {
             // Validate the whole grid up front: a bad cell aborts before
             // any simulation time is spent.
@@ -113,17 +170,144 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                     cells.push((x, scheme, c));
                 }
             }
-            let rows: Vec<Row> = cells
-                .into_iter()
-                .map(|(x, scheme, c)| Row {
-                    scheme,
-                    x: Some(x),
-                    report: Simulation::new(c).run().report,
-                })
-                .collect();
-            Ok(render(&rows))
+            let rows = run_sweep(
+                &cells,
+                SweepDurability {
+                    fingerprint: cells::sweep_fingerprint(base, param, values, cells.len()),
+                    journal: journal.as_deref(),
+                    resume: *resume,
+                    keep_going: *keep_going,
+                },
+            )?;
+            let quarantined = rows
+                .iter()
+                .filter(|r| matches!(r.outcome, output::RowOutcome::Failed))
+                .count();
+            Ok(ExecOutcome {
+                rendered: render(&rows),
+                quarantined,
+            })
         }
     }
+}
+
+/// Durability settings threaded into [`run_sweep`].
+struct SweepDurability<'a> {
+    fingerprint: grococa_journal::Fingerprint,
+    journal: Option<&'a std::path::Path>,
+    resume: bool,
+    keep_going: bool,
+}
+
+/// Runs a validated sweep grid on the `GROCOCA_JOBS`-wide supervised
+/// pool, journaling each completed cell when a journal is configured.
+///
+/// Cell results are collected **by grid index**, so the rendered rows are
+/// byte-identical to the old serial path for any worker count — and,
+/// because every cell is deterministic, a killed-and-resumed sweep
+/// renders byte-identical output to an uninterrupted one.
+fn run_sweep(
+    cells: &[(f64, Scheme, SimConfig)],
+    durability: SweepDurability<'_>,
+) -> Result<Vec<Row>, CliError> {
+    let n = cells.len();
+    let mut settled: Vec<Option<grococa_core::Report>> = vec![None; n];
+
+    // Open the journal first: completed cells recorded by a previous
+    // (killed) run are settled before any simulation time is spent.
+    let journal = match durability.journal {
+        None => None,
+        Some(path) if durability.resume => {
+            let recovered = Journal::open_or_create(path, &durability.fingerprint)?;
+            if let Some(warning) = &recovered.warning {
+                eprintln!("warning: {warning}");
+            }
+            for raw in &recovered.records {
+                if let Some((idx, CellRecord::Ok(report))) = cells::decode(raw) {
+                    if idx < n {
+                        settled[idx] = Some(report);
+                    }
+                }
+            }
+            Some(Mutex::new(recovered.journal))
+        }
+        Some(path) => Some(Mutex::new(Journal::create(path, &durability.fingerprint)?)),
+    };
+
+    let chaos = chaos_cells();
+    let pending: Vec<usize> = (0..n).filter(|&i| settled[i].is_none()).collect();
+    let opts = SuperviseOptions::with_jobs(grococa_par::jobs_from_env());
+    let results = grococa_par::run_supervised(&pending, &opts, |&cell| {
+        assert!(
+            !chaos.contains(&cell),
+            "chaos hook: injected panic for sweep cell {cell}"
+        );
+        let report = Simulation::new(cells[cell].2.clone()).run().report;
+        if let Some(journal) = &journal {
+            // Write-ahead: the cell is durable before it counts as done.
+            // An append failure costs durability, not correctness — the
+            // in-memory result still renders.
+            let appended = journal
+                .lock()
+                .expect("journal lock never poisons: appends don't panic")
+                .append(&cells::encode_ok(cell, &report));
+            if let Err(e) = appended {
+                eprintln!("warning: journal append for cell {cell} failed: {e}");
+            }
+        }
+        report
+    });
+
+    let mut failures = Vec::new();
+    for (&cell, result) in pending.iter().zip(results) {
+        match result {
+            Ok(report) => settled[cell] = Some(report),
+            Err(failure) => failures.push((cell, failure)),
+        }
+    }
+
+    for (cell, failure) in &failures {
+        let (x, scheme, _) = &cells[*cell];
+        eprintln!(
+            "warning: sweep cell {cell} ({} at x={x}) quarantined: {failure}",
+            scheme.label()
+        );
+        if let Some(journal) = &journal {
+            let record = cells::encode_failed(*cell, &failure.panic_text);
+            if let Err(e) = journal
+                .lock()
+                .expect("journal lock never poisons: appends don't panic")
+                .append(&record)
+            {
+                eprintln!("warning: journal append for cell {cell} failed: {e}");
+            }
+        }
+    }
+
+    if let Some((cell, failure)) = failures.first() {
+        if !durability.keep_going {
+            return Err(CliError::Sweep(format!(
+                "sweep cell {cell} failed after {} attempt(s): {}{} \
+                 (use --keep-going to quarantine failing cells and finish the grid)",
+                failure.attempts,
+                failure.panic_text,
+                if failure.exceeded_deadline {
+                    " (exceeded watchdog deadline)"
+                } else {
+                    ""
+                }
+            )));
+        }
+    }
+
+    Ok(cells
+        .iter()
+        .enumerate()
+        .map(|(i, (x, scheme, _))| match settled[i] {
+            Some(report) => Row::ok(*scheme, Some(*x), report),
+            None => Row::failed(*scheme, Some(*x)),
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -13,19 +13,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match grococa_cli::execute(&cli) {
+    match grococa_cli::execute_outcome(&cli) {
         Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
+            print!("{}", out.rendered);
+            if out.quarantined > 0 {
+                // The grid finished, but some cells were quarantined as
+                // FAILED rows — distinct from both success and the error
+                // exits so sweep drivers can retry just those cells.
+                eprintln!(
+                    "warning: sweep completed with {} quarantined cell(s)",
+                    out.quarantined
+                );
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
             match e {
-                // Usage mistakes exit 1; configurations that parsed but
-                // failed semantic validation exit 2, so scripts can tell
-                // a typo from a bad parameter combination.
+                // Usage mistakes, journal refusals and aborted sweeps
+                // exit 1; configurations that parsed but failed semantic
+                // validation exit 2, so scripts can tell a typo from a
+                // bad parameter combination.
                 grococa_cli::CliError::Args(_) => ExitCode::FAILURE,
                 grococa_cli::CliError::Config(_) => ExitCode::from(2),
+                grococa_cli::CliError::Journal(_) => ExitCode::FAILURE,
+                grococa_cli::CliError::Sweep(_) => ExitCode::FAILURE,
             }
         }
     }

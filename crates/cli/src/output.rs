@@ -16,36 +16,77 @@ pub const COLUMNS: [&str; 10] = [
     "completed",
 ];
 
-/// One output row: a scheme, an optional sweep coordinate, and its report.
+/// What one row renders: the completed run's report, or an explicit
+/// failure marker for a sweep cell quarantined under `--keep-going`.
+#[derive(Debug, Clone, Copy)]
+pub enum RowOutcome {
+    /// The run completed; render its metrics.
+    Report(Report),
+    /// The cell panicked past its retry budget; render a `FAILED` row.
+    Failed,
+}
+
+/// One output row: a scheme, an optional sweep coordinate, and its
+/// outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct Row {
     /// Scheme of this run.
     pub scheme: Scheme,
     /// Swept parameter value (`None` for single runs).
     pub x: Option<f64>,
-    /// The run's report.
-    pub report: Report,
+    /// The run's outcome.
+    pub outcome: RowOutcome,
+}
+
+impl Row {
+    /// A row for a completed run.
+    pub fn ok(scheme: Scheme, x: Option<f64>, report: Report) -> Row {
+        Row {
+            scheme,
+            x,
+            outcome: RowOutcome::Report(report),
+        }
+    }
+
+    /// A row for a quarantined (failed) sweep cell.
+    pub fn failed(scheme: Scheme, x: Option<f64>) -> Row {
+        Row {
+            scheme,
+            x,
+            outcome: RowOutcome::Failed,
+        }
+    }
 }
 
 fn fields(row: &Row) -> Vec<String> {
-    let r = &row.report;
-    let power_gch = if r.power_per_gch_uws.is_finite() {
-        format!("{:.1}", r.power_per_gch_uws)
-    } else {
-        String::new()
-    };
-    vec![
+    let mut out = vec![
         row.scheme.label().to_string(),
         row.x.map(|x| format!("{x}")).unwrap_or_default(),
-        format!("{:.3}", r.access_latency_ms),
-        format!("{:.2}", r.local_hit_ratio_pct),
-        format!("{:.2}", r.global_hit_ratio_pct),
-        format!("{:.2}", r.server_request_ratio_pct),
-        format!("{:.2}", r.push_hit_ratio_pct),
-        power_gch,
-        format!("{:.1}", r.power_per_request_uws),
-        format!("{}", r.completed),
-    ]
+    ];
+    match &row.outcome {
+        RowOutcome::Failed => {
+            out.push("FAILED".to_string());
+            out.extend((3..COLUMNS.len()).map(|_| String::new()));
+        }
+        RowOutcome::Report(r) => {
+            let power_gch = if r.power_per_gch_uws.is_finite() {
+                format!("{:.1}", r.power_per_gch_uws)
+            } else {
+                String::new()
+            };
+            out.extend([
+                format!("{:.3}", r.access_latency_ms),
+                format!("{:.2}", r.local_hit_ratio_pct),
+                format!("{:.2}", r.global_hit_ratio_pct),
+                format!("{:.2}", r.server_request_ratio_pct),
+                format!("{:.2}", r.push_hit_ratio_pct),
+                power_gch,
+                format!("{:.1}", r.power_per_request_uws),
+                format!("{}", r.completed),
+            ]);
+        }
+    }
+    out
 }
 
 /// Renders rows as CSV with a header line.
@@ -60,7 +101,7 @@ fn fields(row: &Row) -> Vec<String> {
 /// cfg.num_clients = 10;
 /// cfg.requests_per_mh = 20;
 /// let report = Simulation::new(cfg).run().report;
-/// let csv = to_csv(&[Row { scheme: Scheme::Conventional, x: None, report }]);
+/// let csv = to_csv(&[Row::ok(Scheme::Conventional, None, report)]);
 /// assert!(csv.starts_with("scheme,x,latency_ms"));
 /// assert_eq!(csv.lines().count(), 2);
 /// ```
@@ -106,11 +147,7 @@ mod tests {
             requests_per_mh: 15,
             ..SimConfig::for_scheme(Scheme::Coca)
         };
-        Row {
-            scheme: Scheme::Coca,
-            x,
-            report: Simulation::new(cfg).run().report,
-        }
+        Row::ok(Scheme::Coca, x, Simulation::new(cfg).run().report)
     }
 
     #[test]
@@ -141,17 +178,35 @@ mod tests {
     }
 
     #[test]
+    fn failed_rows_render_explicitly() {
+        let csv = to_csv(&[
+            sample_row(Some(1.0)),
+            Row::failed(Scheme::GroCoca, Some(2.0)),
+        ]);
+        let failed_line = csv.lines().nth(2).unwrap();
+        assert_eq!(
+            failed_line,
+            format!("GC,2,FAILED{}", ",".repeat(COLUMNS.len() - 3))
+        );
+        let table = to_table(&[
+            sample_row(Some(1.0)),
+            Row::failed(Scheme::GroCoca, Some(2.0)),
+        ]);
+        assert!(table.lines().nth(2).unwrap().contains("FAILED"));
+    }
+
+    #[test]
     fn infinite_power_renders_empty() {
         let cfg = SimConfig {
             num_clients: 10,
             requests_per_mh: 15,
             ..SimConfig::for_scheme(Scheme::Conventional)
         };
-        let row = Row {
-            scheme: Scheme::Conventional,
-            x: None,
-            report: Simulation::new(cfg).run().report,
-        };
+        let row = Row::ok(
+            Scheme::Conventional,
+            None,
+            Simulation::new(cfg).run().report,
+        );
         let csv = to_csv(&[row]);
         // power_per_gch column (index 7) is empty, not "inf".
         let cells: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();

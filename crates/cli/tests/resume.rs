@@ -1,0 +1,265 @@
+//! Subprocess integration tests of crash-safe sweeps: kill -9 mid-grid and
+//! resume to byte-identical output, quarantine semantics and exit code 3,
+//! fingerprint-mismatch refusal, and corrupt-tail recovery.
+//!
+//! Every child process pins `GROCOCA_JOBS` so the pool path is exercised
+//! regardless of the host's visible core count.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// Per-test scratch directory under the target-adjacent temp root.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("grococa-resume-tests")
+        .join(format!("{test}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A `grococa` child with the given CLI words, `GROCOCA_JOBS` pinned, and
+/// the chaos hook cleared unless the test sets it.
+fn grococa(args: &[&str], jobs: &str) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_grococa"));
+    cmd.args(args)
+        .env("GROCOCA_JOBS", jobs)
+        .env_remove(grococa_cli::CHAOS_ENV)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+fn run(args: &[&str], jobs: &str) -> Output {
+    grococa(args, jobs).output().expect("spawn grococa")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf8 stderr")
+}
+
+/// A small, fast grid: 2 values x 3 schemes = 6 cells.
+const SMALL: &[&str] = &[
+    "sweep",
+    "--param",
+    "theta",
+    "--values",
+    "0.2,0.8",
+    "--clients",
+    "10",
+    "--requests",
+    "15",
+    "--csv",
+];
+
+/// A slower grid for the mid-flight kill: 8 values x 3 schemes = 24 cells,
+/// roughly 100 ms per cell, so there is a wide window in which some cells
+/// are journaled and others are not.
+const SLOW: &[&str] = &[
+    "sweep",
+    "--param",
+    "theta",
+    "--values",
+    "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8",
+    "--clients",
+    "60",
+    "--requests",
+    "150",
+    "--csv",
+];
+
+fn with_journal(base: &[&str], journal: &Path, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    v.push("--journal".into());
+    v.push(journal.display().to_string());
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+fn as_strs(v: &[String]) -> Vec<&str> {
+    v.iter().map(String::as_str).collect()
+}
+
+#[test]
+fn kill_nine_then_resume_is_byte_identical_to_uninterrupted_run() {
+    let dir = scratch("kill-resume");
+    let journal = dir.join("sweep.gcj");
+
+    // Reference: the same sweep, uninterrupted and unjournaled.
+    let clean = run(SLOW, "2");
+    assert!(
+        clean.status.success(),
+        "clean run failed: {}",
+        stderr(&clean)
+    );
+
+    // Start the journaled sweep, wait until a handful of cells are durable
+    // (header ~41 bytes + ~149 bytes per completed cell), then SIGKILL it.
+    let args = with_journal(SLOW, &journal, &[]);
+    let mut child = grococa(&as_strs(&args), "2").spawn().expect("spawn sweep");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let bytes = fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        if bytes > 41 + 3 * 149 {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            break; // finished before we could kill it; resume is then a no-op
+        }
+        assert!(Instant::now() < deadline, "journal never grew past 3 cells");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill(); // SIGKILL on unix: no destructors, no final fsync
+    let _ = child.wait();
+
+    // Resume must complete the grid and render exactly the clean bytes.
+    let resumed = run(&as_strs(&with_journal(SLOW, &journal, &["--resume"])), "2");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&clean),
+        "resumed sweep is not byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn journaled_run_matches_plain_run_and_rerun_settles_from_journal() {
+    let dir = scratch("journal-identity");
+    let journal = dir.join("sweep.gcj");
+
+    let plain = run(SMALL, "2");
+    let journaled = run(&as_strs(&with_journal(SMALL, &journal, &[])), "2");
+    assert!(plain.status.success() && journaled.status.success());
+    assert_eq!(stdout(&plain), stdout(&journaled));
+
+    // Resuming a complete journal re-renders without re-simulating.
+    let resumed = run(&as_strs(&with_journal(SMALL, &journal, &["--resume"])), "2");
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(stdout(&plain), stdout(&resumed));
+}
+
+#[test]
+fn pool_output_is_byte_identical_to_serial() {
+    let serial = run(SMALL, "1");
+    let pooled = run(SMALL, "4");
+    assert!(serial.status.success() && pooled.status.success());
+    assert_eq!(
+        stdout(&serial),
+        stdout(&pooled),
+        "GROCOCA_JOBS=4 changed sweep bytes vs serial"
+    );
+}
+
+#[test]
+fn chaos_cell_with_keep_going_exits_three_with_failed_row() {
+    let mut cmd = grococa(
+        &as_strs(&{
+            let mut v: Vec<String> = SMALL.iter().map(|s| s.to_string()).collect();
+            v.push("--keep-going".into());
+            v
+        }),
+        "2",
+    );
+    cmd.env(grococa_cli::CHAOS_ENV, "4");
+    let out = cmd.output().expect("spawn grococa");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "quarantined sweep must exit 3; stderr: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l.contains("FAILED")),
+        "no FAILED row in:\n{text}"
+    );
+    // Every other cell still completed: 6 data rows in total.
+    assert_eq!(text.lines().filter(|l| !l.starts_with("scheme")).count(), 6);
+    assert!(stderr(&out).contains("quarantined"));
+}
+
+#[test]
+fn chaos_cell_without_keep_going_aborts_with_exit_one() {
+    let mut cmd = grococa(SMALL, "2");
+    cmd.env(grococa_cli::CHAOS_ENV, "4");
+    let out = cmd.output().expect("spawn grococa");
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--keep-going"),
+        "abort must point at --keep-going: {err}"
+    );
+}
+
+#[test]
+fn resume_with_different_sweep_is_refused() {
+    let dir = scratch("fingerprint");
+    let journal = dir.join("sweep.gcj");
+
+    let first = run(&as_strs(&with_journal(SMALL, &journal, &[])), "2");
+    assert!(first.status.success());
+
+    // Same journal, different grid: the fingerprint must not match.
+    let other: Vec<String> = SMALL
+        .iter()
+        .map(|s| if *s == "0.2,0.8" { "0.3,0.9" } else { s }.to_string())
+        .collect();
+    let refused = run(
+        &as_strs(&with_journal(&as_strs(&other), &journal, &["--resume"])),
+        "2",
+    );
+    assert_eq!(refused.status.code(), Some(1));
+    let err = stderr(&refused);
+    assert!(
+        err.contains("fingerprint") || err.contains("different sweep"),
+        "refusal must explain the mismatch: {err}"
+    );
+}
+
+#[test]
+fn corrupt_tail_is_discarded_with_warning_and_resume_still_matches() {
+    let dir = scratch("corrupt-tail");
+    let journal = dir.join("sweep.gcj");
+
+    let clean = run(SMALL, "2");
+    let first = run(&as_strs(&with_journal(SMALL, &journal, &[])), "2");
+    assert!(first.status.success());
+
+    // Flip a bit in the last byte: the final record's checksum no longer
+    // verifies, so resume must drop it, warn, and re-run that cell.
+    let mut bytes = fs::read(&journal).expect("read journal");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&journal, &bytes).expect("rewrite journal");
+
+    let resumed = run(&as_strs(&with_journal(SMALL, &journal, &["--resume"])), "2");
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(stdout(&resumed), stdout(&clean));
+    let err = stderr(&resumed);
+    assert!(
+        err.contains("discard") || err.contains("truncat") || err.contains("corrupt"),
+        "tail damage must be reported on stderr: {err}"
+    );
+}
+
+#[test]
+fn unparsable_jobs_env_warns_once_and_falls_back() {
+    let out = run(SMALL, "eight");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert_eq!(
+        err.matches("GROCOCA_JOBS").count(),
+        1,
+        "exactly one warning expected: {err}"
+    );
+}

@@ -472,6 +472,42 @@ impl SimConfig {
         Ok(())
     }
 
+    /// A canonical 64-bit fingerprint covering **every** configuration
+    /// field.
+    ///
+    /// Folds the derived `Debug` rendering — which lists each field by
+    /// name in declaration order, floats included — through FNV-1a and a
+    /// SplitMix64 finaliser. Two configs fingerprint equal exactly when
+    /// all their fields are equal, and adding a field to the struct
+    /// changes every fingerprint, which is the right failure mode for its
+    /// one consumer: the sweep journal header, where a stale fingerprint
+    /// must refuse resume rather than mix results from different
+    /// configurations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grococa_core::SimConfig;
+    ///
+    /// let a = SimConfig::default();
+    /// let mut b = SimConfig::default();
+    /// assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    /// b.theta = 0.9;
+    /// assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    /// ```
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // SplitMix64 finaliser spreads the low-entropy FNV state.
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// [`SimConfig::validate`], but panicking with the violation message
     /// — the old behaviour, kept for tests and for callers that treat an
     /// invalid configuration as a programming error.
@@ -563,6 +599,37 @@ mod tests {
             .unwrap_err()
             .message()
             .contains("hang deadline"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_kind_of_field() {
+        let base = SimConfig::default();
+        let fp = base.canonical_fingerprint();
+        assert_eq!(fp, SimConfig::default().canonical_fingerprint());
+        for cfg in [
+            SimConfig {
+                scheme: Scheme::Coca,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                seed: 1,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                theta: 0.500001,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                delivery: DataDelivery::hybrid(),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                faults: FaultPlan::profile("lossy").unwrap(),
+                ..SimConfig::default()
+            },
+        ] {
+            assert_ne!(cfg.canonical_fingerprint(), fp, "{cfg:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! An append-only, fsync-on-append write-ahead result journal.
+//!
+//! Long parameter sweeps (the paper's Figures 2–8 grids) lose every
+//! completed cell if the process is killed, because results live only in
+//! memory until the final render. This crate makes each completed cell
+//! durable the moment it finishes: the sweep harness appends one
+//! length-prefixed, checksummed record per cell and the file is fsync'd
+//! before the cell is considered done, so a `kill -9` forfeits at most the
+//! cells that were still in flight.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header:  magic "GCJRNL1\n" (8)  │ config_hash u64 LE │ cells u64 LE
+//!          │ version_len u32 LE │ version bytes │ header_checksum u64 LE
+//! record:  len u32 LE │ payload (len bytes) │ checksum u64 LE
+//! record:  ...
+//! ```
+//!
+//! * The **header** fingerprints the sweep: the canonical configuration
+//!   hash, the grid shape (total cell count) and the producing crate
+//!   version. [`Journal::open_or_create`] refuses to resume when the
+//!   fingerprint does not match — a journal written by different sweep
+//!   arguments (or a different code version) must never seed a resume.
+//! * Every **record** carries a SplitMix64-derived [`checksum`] of its
+//!   payload. On open, records are scanned in order; the first truncated
+//!   or corrupt record ends the scan, the damaged tail is discarded (the
+//!   file is truncated back to the last intact record) and a warning
+//!   describes what was dropped. A crash mid-append therefore costs at
+//!   most the record being written, never the journal.
+//! * Payload bytes are the caller's business; the journal stores and
+//!   returns them verbatim.
+//!
+//! The crate is dependency-free and performs no I/O beyond the journal
+//! file itself; the pure [`encode_record`] / [`scan_records`] /
+//! [`encode_header`] / [`decode_header`] helpers are exposed so property
+//! tests can drive the codec adversarially without touching a filesystem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic prefix of every journal file (versioned: a future
+/// incompatible format bumps the trailing digit).
+pub const MAGIC: &[u8; 8] = b"GCJRNL1\n";
+
+/// Upper bound on a single record's payload. A corrupt length prefix must
+/// not make the reader attempt a multi-gigabyte allocation; sweep-cell
+/// records are a few hundred bytes, so 16 MiB is generous headroom.
+pub const MAX_RECORD_LEN: u32 = 16 << 20;
+
+/// A SplitMix64-derived checksum of `bytes`.
+///
+/// Each 8-byte chunk (zero-padded at the tail) is folded through the
+/// SplitMix64 finaliser, and the total length is mixed in last so padded
+/// tails cannot collide with genuine zero bytes. Not cryptographic — it
+/// guards against torn writes and bit rot, not adversaries.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(grococa_journal::checksum(b"abc"), grococa_journal::checksum(b"abc"));
+/// assert_ne!(grococa_journal::checksum(b"abc"), grococa_journal::checksum(b"abd"));
+/// assert_ne!(grococa_journal::checksum(b"abc"), grococa_journal::checksum(b"abc\0"));
+/// ```
+pub fn checksum(bytes: &[u8]) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = 0x6A09_E667_F3BC_C909u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(word));
+    }
+    mix(h ^ (bytes.len() as u64))
+}
+
+/// What a journal header asserts about the sweep that wrote it. Two
+/// journals are interchangeable exactly when their fingerprints are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Canonical hash of the sweep's full configuration (base config,
+    /// swept parameter, value list — whatever the producer deems
+    /// identity-defining).
+    pub config_hash: u64,
+    /// Total cells in the sweep grid.
+    pub cells: u64,
+    /// Version of the producing crate; a rebuilt binary with different
+    /// simulation behaviour must not silently resume an old journal.
+    pub version: String,
+}
+
+/// Everything that can go wrong creating, opening or appending to a
+/// journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// The file exists but is not a (readable) journal: bad magic, or a
+    /// header too damaged to trust. Resume is refused because the
+    /// fingerprint cannot be verified.
+    NotAJournal(String),
+    /// The header decoded cleanly but belongs to a different sweep.
+    FingerprintMismatch {
+        /// The fingerprint recorded in the file.
+        found: Fingerprint,
+        /// The fingerprint of the sweep attempting to resume.
+        expected: Fingerprint,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::NotAJournal(why) => {
+                write!(
+                    f,
+                    "not a usable journal ({why}); delete the file to start over"
+                )
+            }
+            JournalError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "journal fingerprint mismatch: file was written by \
+                 config_hash={:#018x}, cells={}, version={} but this sweep is \
+                 config_hash={:#018x}, cells={}, version={} — refusing to resume",
+                found.config_hash,
+                found.cells,
+                found.version,
+                expected.config_hash,
+                expected.cells,
+                expected.version
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io(e.to_string())
+}
+
+/// Encodes a header for `fp` (magic through header checksum).
+pub fn encode_header(fp: &Fingerprint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 8 + 4 + fp.version.len() + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&fp.config_hash.to_le_bytes());
+    out.extend_from_slice(&fp.cells.to_le_bytes());
+    out.extend_from_slice(&(fp.version.len() as u32).to_le_bytes());
+    out.extend_from_slice(fp.version.as_bytes());
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes a header from the front of `bytes`, returning the fingerprint
+/// and the header's encoded length. Total: corrupt input yields an error,
+/// never a panic.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem
+/// (short file, wrong magic, oversized version field, checksum mismatch,
+/// non-UTF-8 version).
+pub fn decode_header(bytes: &[u8]) -> Result<(Fingerprint, usize), String> {
+    if bytes.len() < 8 {
+        return Err("file is shorter than the journal magic".to_string());
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(format!("bad magic {:?}", &bytes[..8]));
+    }
+    if bytes.len() < 28 {
+        return Err("header is truncated".to_string());
+    }
+    let config_hash = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let cells = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+    let version_len = u32::from_le_bytes(bytes[24..28].try_into().expect("4-byte slice")) as usize;
+    if version_len > 1024 {
+        return Err(format!("implausible version length {version_len}"));
+    }
+    let end = 28usize.saturating_add(version_len);
+    if bytes.len() < end + 8 {
+        return Err("header is truncated".to_string());
+    }
+    let stored = u64::from_le_bytes(bytes[end..end + 8].try_into().expect("8-byte slice"));
+    if stored != checksum(&bytes[..end]) {
+        return Err("header checksum mismatch".to_string());
+    }
+    let version = std::str::from_utf8(&bytes[28..end])
+        .map_err(|_| "version field is not UTF-8".to_string())?
+        .to_string();
+    Ok((
+        Fingerprint {
+            config_hash,
+            cells,
+            version,
+        },
+        end + 8,
+    ))
+}
+
+/// Encodes one record: length prefix, payload, payload checksum.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out
+}
+
+/// The result of scanning a record region: the intact payload prefix, how
+/// many bytes of it were consumed, and — if the scan stopped early — a
+/// description of the damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes consumed by the intact prefix (a valid truncation point).
+    pub consumed: usize,
+    /// Why the scan stopped before the end of the input, if it did.
+    pub damage: Option<String>,
+}
+
+/// Scans `bytes` (the region after the header) for records. Total: any
+/// byte string yields a valid prefix plus an optional damage description —
+/// truncation and corruption are data, not panics.
+pub fn scan_records(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let damage = loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            break None;
+        }
+        if rest.len() < 4 {
+            break Some(format!("truncated length prefix at offset {at}"));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD_LEN {
+            break Some(format!("implausible record length {len} at offset {at}"));
+        }
+        let len = len as usize;
+        if rest.len() < 4 + len + 8 {
+            break Some(format!("truncated record at offset {at}"));
+        }
+        let payload = &rest[4..4 + len];
+        let stored = u64::from_le_bytes(rest[4 + len..4 + len + 8].try_into().expect("8 bytes"));
+        if stored != checksum(payload) {
+            break Some(format!("record checksum mismatch at offset {at}"));
+        }
+        records.push(payload.to_vec());
+        at += 4 + len + 8;
+    };
+    Scan {
+        records,
+        consumed: at,
+        damage,
+    }
+}
+
+/// An open journal positioned for appending.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+/// What [`Journal::open_or_create`] found on disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The journal, positioned at the end of the intact prefix.
+    pub journal: Journal,
+    /// Payloads of every intact record already in the file.
+    pub records: Vec<Vec<u8>>,
+    /// A warning describing a discarded damaged tail, if one was found.
+    pub warning: Option<String>,
+}
+
+impl Journal {
+    /// Creates (or truncates) the journal at `path`, writing and syncing
+    /// the header for `fp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] if the file cannot be created or
+    /// written.
+    pub fn create(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io_err)?;
+        file.write_all(&encode_header(fp)).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens the journal at `path` for resuming, or creates a fresh one if
+    /// the file is missing or empty.
+    ///
+    /// The header must carry exactly `fp` — any mismatch refuses resume.
+    /// Record scanning is tail-tolerant: the first truncated or corrupt
+    /// record ends the intact prefix, the file is truncated back to it and
+    /// [`Recovered::warning`] says what was discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotAJournal`] if the header is unreadable,
+    /// [`JournalError::FingerprintMismatch`] if it belongs to a different
+    /// sweep, [`JournalError::Io`] on filesystem failures.
+    pub fn open_or_create(path: &Path, fp: &Fingerprint) -> Result<Recovered, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        if bytes.is_empty() {
+            return Ok(Recovered {
+                journal: Journal::create(path, fp)?,
+                records: Vec::new(),
+                warning: None,
+            });
+        }
+        let (found, header_len) = decode_header(&bytes).map_err(JournalError::NotAJournal)?;
+        if found != *fp {
+            return Err(JournalError::FingerprintMismatch {
+                found,
+                expected: fp.clone(),
+            });
+        }
+        let scan = scan_records(&bytes[header_len..]);
+        let keep = header_len + scan.consumed;
+        let warning = scan.damage.map(|why| {
+            format!(
+                "journal {}: discarding {} damaged byte(s) past record {} ({why})",
+                path.display(),
+                bytes.len() - keep,
+                scan.records.len(),
+            )
+        });
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
+        if warning.is_some() {
+            file.set_len(keep as u64).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        file.seek(SeekFrom::Start(keep as u64)).map_err(io_err)?;
+        Ok(Recovered {
+            journal: Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            records: scan.records,
+            warning,
+        })
+    }
+
+    /// Appends one record and fsyncs before returning: once `append` is
+    /// back, the record survives a kill or power cut.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] if the write or sync fails.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        self.file
+            .write_all(&encode_record(payload))
+            .map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)
+    }
+
+    /// The journal's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Fingerprint {
+        Fingerprint {
+            config_hash: 0xDEAD_BEEF_0123_4567,
+            cells: 9,
+            version: "0.1.0".to_string(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grococa-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let bytes = encode_header(&fp());
+        let (decoded, len) = decode_header(&bytes).expect("decodes");
+        assert_eq!(decoded, fp());
+        assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_truncation() {
+        let mut bytes = encode_header(&fp());
+        for cut in 0..bytes.len() {
+            assert!(decode_header(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        bytes[0] ^= 0xFF;
+        assert!(decode_header(&bytes).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn header_rejects_any_flipped_byte() {
+        let good = encode_header(&fp());
+        for at in 0..good.len() {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            assert!(decode_header(&bad).is_err(), "flip at {at} accepted");
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1, 2, 3], vec![0xAB; 200]];
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            bytes.extend_from_slice(&encode_record(p));
+        }
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records, payloads);
+        assert_eq!(scan.consumed, bytes.len());
+        assert!(scan.damage.is_none());
+    }
+
+    #[test]
+    fn truncated_tail_keeps_valid_prefix() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record(b"first"));
+        let keep = bytes.len();
+        bytes.extend_from_slice(&encode_record(b"second"));
+        for cut in keep..bytes.len() {
+            let scan = scan_records(&bytes[..cut]);
+            assert_eq!(scan.records, vec![b"first".to_vec()], "cut={cut}");
+            assert_eq!(scan.consumed, keep);
+            // `cut == keep` is a cleanly-ended file, not a damaged one.
+            assert_eq!(scan.damage.is_some(), cut > keep, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_damage_not_allocation() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 64]);
+        let scan = scan_records(&bytes);
+        assert!(scan.records.is_empty());
+        assert!(scan.damage.expect("damaged").contains("implausible"));
+    }
+
+    #[test]
+    fn file_create_append_reopen() {
+        let path = temp_path("roundtrip.gcj");
+        let mut j = Journal::create(&path, &fp()).expect("create");
+        j.append(b"cell-0").expect("append");
+        j.append(b"cell-1").expect("append");
+        drop(j);
+        let rec = Journal::open_or_create(&path, &fp()).expect("open");
+        assert_eq!(rec.records, vec![b"cell-0".to_vec(), b"cell-1".to_vec()]);
+        assert!(rec.warning.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_after_append_continues_the_log() {
+        let path = temp_path("continue.gcj");
+        Journal::create(&path, &fp())
+            .expect("create")
+            .append(b"a")
+            .expect("append");
+        let mut rec = Journal::open_or_create(&path, &fp()).expect("open");
+        rec.journal.append(b"b").expect("append");
+        let rec = Journal::open_or_create(&path, &fp()).expect("reopen");
+        assert_eq!(rec.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_on_open() {
+        let path = temp_path("corrupt.gcj");
+        let mut j = Journal::create(&path, &fp()).expect("create");
+        j.append(b"keep-me").expect("append");
+        j.append(b"doomed").expect("append");
+        drop(j);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write corruption");
+        let rec = Journal::open_or_create(&path, &fp()).expect("open survives");
+        assert_eq!(rec.records, vec![b"keep-me".to_vec()]);
+        assert!(rec.warning.expect("warned").contains("discarding"));
+        // The damaged tail is gone from disk; a further append then a
+        // clean reopen sees exactly [keep-me, after].
+        let mut j = rec.journal;
+        j.append(b"after").expect("append");
+        let rec = Journal::open_or_create(&path, &fp()).expect("reopen");
+        assert_eq!(rec.records, vec![b"keep-me".to_vec(), b"after".to_vec()]);
+        assert!(rec.warning.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_resume() {
+        let path = temp_path("mismatch.gcj");
+        Journal::create(&path, &fp()).expect("create");
+        let other = Fingerprint { cells: 12, ..fp() };
+        let err = Journal::open_or_create(&path, &other).expect_err("must refuse");
+        assert!(matches!(err, JournalError::FingerprintMismatch { .. }));
+        assert!(err.to_string().contains("refusing to resume"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_not_a_journal() {
+        let path = temp_path("garbage.gcj");
+        std::fs::write(&path, b"this is not a journal at all").expect("write");
+        let err = Journal::open_or_create(&path, &fp()).expect_err("must refuse");
+        assert!(matches!(err, JournalError::NotAJournal(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_starts_fresh() {
+        let path = temp_path("fresh.gcj");
+        std::fs::remove_file(&path).ok();
+        let rec = Journal::open_or_create(&path, &fp()).expect("creates");
+        assert!(rec.records.is_empty());
+        assert!(rec.warning.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

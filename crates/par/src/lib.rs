@@ -25,6 +25,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Best-effort extraction of a panic payload's message.
 fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -47,9 +48,70 @@ fn run_job<I, O>(f: &impl Fn(&I) -> O, input: &I, idx: usize) -> O {
 /// The environment variable selecting the degree of parallelism.
 pub const JOBS_ENV: &str = "GROCOCA_JOBS";
 
+/// A malformed `GROCOCA_JOBS` value: set, but not a positive integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsEnvError {
+    /// The offending value, verbatim.
+    pub raw: String,
+}
+
+impl std::fmt::Display for JobsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{JOBS_ENV}={:?} is not a positive integer worker count",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for JobsEnvError {}
+
+/// Parses a raw `GROCOCA_JOBS` value. `None` (unset) selects the default;
+/// a set-but-invalid value is an error rather than a silent fallback, so a
+/// typo like `GROCOCA_JOBS=eight` cannot quietly serialise a sweep.
+///
+/// # Errors
+///
+/// Returns [`JobsEnvError`] carrying the offending value when it is set
+/// but not a positive integer.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(grococa_par::jobs_from_value(Some("3")), Ok(3));
+/// assert!(grococa_par::jobs_from_value(Some("eight")).is_err());
+/// assert!(grococa_par::jobs_from_value(Some("0")).is_err());
+/// assert!(grococa_par::jobs_from_value(None).unwrap() >= 1);
+/// ```
+pub fn jobs_from_value(raw: Option<&str>) -> Result<usize, JobsEnvError> {
+    match raw {
+        None => Ok(default_jobs()),
+        Some(v) => v
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| JobsEnvError { raw: v.to_string() }),
+    }
+}
+
+/// The worker count from `GROCOCA_JOBS`, as a `Result`: unset selects the
+/// default (all cores), a malformed value is an error.
+///
+/// # Errors
+///
+/// Returns [`JobsEnvError`] when the variable is set but invalid.
+pub fn try_jobs_from_env() -> Result<usize, JobsEnvError> {
+    let raw = std::env::var(JOBS_ENV).ok();
+    jobs_from_value(raw.as_deref())
+}
+
 /// The worker count selected by `GROCOCA_JOBS`, defaulting to the number of
 /// available cores (minimum 1). Zero or unparsable values fall back to the
-/// default.
+/// default — but loudly: the first such fallback per process prints a
+/// warning to stderr naming the offending value, so typos don't silently
+/// change the degree of parallelism.
 ///
 /// # Examples
 ///
@@ -57,11 +119,16 @@ pub const JOBS_ENV: &str = "GROCOCA_JOBS";
 /// assert!(grococa_par::jobs_from_env() >= 1);
 /// ```
 pub fn jobs_from_env() -> usize {
-    std::env::var(JOBS_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(default_jobs)
+    match try_jobs_from_env() {
+        Ok(n) => n,
+        Err(e) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: {e}; falling back to {} worker(s)", default_jobs());
+            });
+            default_jobs()
+        }
+    }
 }
 
 /// The default degree of parallelism: the number of available cores.
@@ -161,6 +228,166 @@ where
     F: Fn(&I) -> O + Sync,
 {
     run_indexed(inputs, jobs_from_env(), f)
+}
+
+/// Why one supervised job was quarantined instead of returning a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The failing job's input index.
+    pub index: usize,
+    /// Panic text of the final attempt.
+    pub panic_text: String,
+    /// How many attempts were made (1 + retries).
+    pub attempts: u32,
+    /// Whether any attempt overran the configured watchdog deadline. The
+    /// watchdog is advisory — it measures each attempt on the monotonic
+    /// clock after the fact and cannot preempt a running job — but it
+    /// distinguishes "panicked instantly" from "ground for minutes, then
+    /// died" in the failure record.
+    pub exceeded_deadline: bool,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt(s): {}{}",
+            self.index,
+            self.attempts,
+            self.panic_text,
+            if self.exceeded_deadline {
+                " (exceeded watchdog deadline)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Tuning for [`run_supervised`]: pool width, bounded retry, watchdog.
+#[derive(Debug, Clone)]
+pub struct SuperviseOptions {
+    /// Worker threads (clamped like [`run_indexed`]).
+    pub jobs: usize,
+    /// Re-attempts after a job's first panic. Retries are deterministic —
+    /// the same input is re-run by the same closure — so they only help
+    /// against harness-transient failures (allocation pressure, injected
+    /// chaos), never against a deterministic bug; keep the bound small.
+    pub max_retries: u32,
+    /// Per-attempt watchdog deadline on the monotonic clock; attempts
+    /// running past it set [`JobFailure::exceeded_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl SuperviseOptions {
+    /// Options for a pool of `jobs` workers: one retry, no deadline.
+    pub fn with_jobs(jobs: usize) -> Self {
+        SuperviseOptions {
+            jobs,
+            max_retries: 1,
+            deadline: None,
+        }
+    }
+}
+
+/// Runs one supervised job: bounded retry around `catch_unwind`, each
+/// attempt timed on the monotonic clock for the watchdog flag.
+fn supervise_job<I, O>(
+    f: &impl Fn(&I) -> O,
+    input: &I,
+    index: usize,
+    opts: &SuperviseOptions,
+) -> Result<O, JobFailure> {
+    let attempts = opts.max_retries.saturating_add(1);
+    let mut exceeded_deadline = false;
+    let mut panic_text = String::new();
+    for _ in 0..attempts {
+        let started = Instant::now(); // tidy:allow(wall-clock): harness watchdog; never feeds back into the sim
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(input)));
+        if opts.deadline.is_some_and(|d| started.elapsed() > d) {
+            exceeded_deadline = true;
+        }
+        match outcome {
+            Ok(out) => return Ok(out),
+            Err(payload) => panic_text = payload_text(payload.as_ref()).to_string(),
+        }
+    }
+    Err(JobFailure {
+        index,
+        panic_text,
+        attempts,
+        exceeded_deadline,
+    })
+}
+
+/// Runs `f` over every input like [`run_indexed`], but **quarantines**
+/// failures instead of aborting the grid: a panicking job is retried up to
+/// [`SuperviseOptions::max_retries`] times and, if it keeps failing, its
+/// slot records a [`JobFailure`] (panic text, job index, attempt count,
+/// watchdog flag) while every other job still runs to completion.
+///
+/// Outputs are returned **in input order**, so downstream rendering is
+/// byte-identical for any worker count — the crash-safe sweep harness
+/// builds directly on this.
+///
+/// # Examples
+///
+/// ```
+/// use grococa_par::{run_supervised, SuperviseOptions};
+///
+/// let results = run_supervised(&[1u32, 2, 3], &SuperviseOptions::with_jobs(2), |&x| {
+///     assert!(x != 2, "boom");
+///     x * 10
+/// });
+/// assert_eq!(results[0].as_ref().unwrap(), &10);
+/// assert_eq!(results[1].as_ref().unwrap_err().index, 1);
+/// assert_eq!(results[2].as_ref().unwrap(), &30);
+/// ```
+pub fn run_supervised<I, O, F>(
+    inputs: &[I],
+    opts: &SuperviseOptions,
+    f: F,
+) -> Vec<Result<O, JobFailure>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let jobs = opts.jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(idx, input)| supervise_job(&f, input, idx, opts))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Result<O, JobFailure>)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            return local;
+                        }
+                        local.push((idx, supervise_job(&f, &inputs[idx], idx, opts)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle
+                .join()
+                .expect("worker panics are caught inside supervise_job");
+            collected.extend(local);
+        }
+    });
+    collected.sort_by_key(|&(idx, _)| idx);
+    collected.into_iter().map(|(_, out)| out).collect()
 }
 
 #[cfg(test)]
@@ -267,6 +494,113 @@ mod tests {
         let text = panic_message(result.expect_err("must panic"));
         assert!(text.contains("job 2"), "got: {text}");
         assert!(text.contains("kaboom"), "got: {text}");
+    }
+
+    #[test]
+    fn jobs_from_value_accepts_positive_integers_only() {
+        assert_eq!(jobs_from_value(Some("4")), Ok(4));
+        assert_eq!(jobs_from_value(Some(" 2 ")), Ok(2));
+        assert!(jobs_from_value(None).unwrap() >= 1);
+        for bad in ["0", "-3", "eight", "", "1.5"] {
+            let err = jobs_from_value(Some(bad)).expect_err(bad);
+            assert_eq!(err.raw, bad);
+            assert!(err.to_string().contains("GROCOCA_JOBS"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn supervised_quarantines_failures_and_completes_the_rest() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let opts = SuperviseOptions::with_jobs(8);
+        let results = run_supervised(&inputs, &opts, |&x| {
+            assert!(x % 13 != 5, "unlucky {x}");
+            x * 2
+        });
+        assert_eq!(results.len(), 64);
+        for (i, r) in results.iter().enumerate() {
+            if i % 13 == 5 {
+                let fail = r.as_ref().expect_err("quarantined");
+                assert_eq!(fail.index, i);
+                assert_eq!(fail.attempts, 2);
+                assert!(fail.panic_text.contains(&format!("unlucky {i}")));
+                assert!(!fail.exceeded_deadline);
+            } else {
+                assert_eq!(*r.as_ref().expect("completed"), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_serial_and_parallel_agree() {
+        let inputs: Vec<u32> = (0..97).collect();
+        let work = |&x: &u32| {
+            assert!(x % 11 != 3, "boom {x}");
+            x.wrapping_mul(2654435761)
+        };
+        let serial = run_supervised(&inputs, &SuperviseOptions::with_jobs(1), work);
+        for jobs in [2, 5, 16] {
+            let par = run_supervised(&inputs, &SuperviseOptions::with_jobs(jobs), work);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn supervised_retry_rescues_transient_failures() {
+        use std::sync::Mutex;
+        // Fail every input's first attempt, succeed on the retry.
+        let seen = Mutex::new(std::collections::BTreeSet::new());
+        let inputs: Vec<u32> = (0..8).collect();
+        let opts = SuperviseOptions {
+            jobs: 3,
+            max_retries: 1,
+            deadline: None,
+        };
+        let results = run_supervised(&inputs, &opts, |&x| {
+            let fresh = seen.lock().unwrap().insert(x);
+            assert!(!fresh, "transient failure for {x}");
+            x + 100
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("rescued on retry"), i as u32 + 100);
+        }
+    }
+
+    #[test]
+    fn supervised_zero_retries_fails_immediately() {
+        let opts = SuperviseOptions {
+            jobs: 1,
+            max_retries: 0,
+            deadline: None,
+        };
+        let results = run_supervised(&[1u32], &opts, |_| -> u32 { panic!("once") });
+        let fail = results[0].as_ref().expect_err("fails");
+        assert_eq!(fail.attempts, 1);
+    }
+
+    #[test]
+    fn watchdog_flags_slow_failing_cells() {
+        let opts = SuperviseOptions {
+            jobs: 2,
+            max_retries: 0,
+            deadline: Some(Duration::from_millis(1)),
+        };
+        let results = run_supervised(&[0u32, 1], &opts, |&x| -> u32 {
+            if x == 1 {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            panic!("dies either way")
+        });
+        assert!(!results[0].as_ref().unwrap_err().exceeded_deadline);
+        assert!(results[1].as_ref().unwrap_err().exceeded_deadline);
+        let shown = results[1].as_ref().unwrap_err().to_string();
+        assert!(shown.contains("watchdog deadline"), "got: {shown}");
+    }
+
+    #[test]
+    fn supervised_empty_input() {
+        let out: Vec<Result<u32, _>> =
+            run_supervised(&[] as &[u32], &SuperviseOptions::with_jobs(4), |&x| x);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`power`] — the Feeney–Nilsson power model;
 //! * [`cache`] — the LRU + TTL client cache;
 //! * [`signature`] — bloom-filter cache signatures and VLFL compression;
-//! * [`workload`] — Zipf access patterns and the server database.
+//! * [`workload`] — Zipf access patterns and the server database;
+//! * [`par`] — the supervised worker pool behind parallel sweeps;
+//! * [`journal`] — the crash-safe write-ahead result journal.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -48,8 +50,10 @@
 
 pub use grococa_cache as cache;
 pub use grococa_core as core;
+pub use grococa_journal as journal;
 pub use grococa_mobility as mobility;
 pub use grococa_net as net;
+pub use grococa_par as par;
 pub use grococa_power as power;
 pub use grococa_signature as signature;
 pub use grococa_sim as sim;
