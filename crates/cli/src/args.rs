@@ -40,6 +40,16 @@ pub enum Command {
         /// Quarantine panicking cells as FAILED rows instead of aborting
         /// the grid (`--keep-going`); maps to exit code 3.
         keep_going: bool,
+        /// Run each cell in a re-exec'd child process (`--isolate`) so
+        /// deadline/memory limits are enforced by `kill()`, not advisory.
+        isolate: bool,
+        /// Per-cell wall-clock deadline (`--cell-deadline SECS`). With
+        /// `--isolate` an overrunning cell is killed; in thread mode the
+        /// deadline is advisory (classifies slow failing cells).
+        cell_deadline: Option<std::time::Duration>,
+        /// Per-cell RSS ceiling in MiB (`--cell-mem-mb N`); requires
+        /// `--isolate` (only a child process can be killed over it).
+        cell_mem_mb: Option<u64>,
     },
     /// Print usage.
     Help,
@@ -105,6 +115,12 @@ SWEEP OPTIONS (crash safety; sweeps run on a GROCOCA_JOBS-wide pool):
                                requires --journal)
     --keep-going               quarantine panicking cells as FAILED rows
                                instead of aborting the sweep
+    --isolate                  run each cell in a re-exec'd child process;
+                               deadline/memory limits become hard kills
+    --cell-deadline SECS       per-cell wall-clock deadline (enforced with
+                               --isolate, advisory otherwise)
+    --cell-mem-mb N            per-cell RSS ceiling in MiB (requires
+                               --isolate)
 
 SWEEPABLE PARAMETERS:
     cache_size, theta, access_range, group_size, update_rate, p_disc,
@@ -115,6 +131,8 @@ EXIT CODES:
     1  usage mistake, journal refusal, or aborted sweep
     2  semantically invalid configuration
     3  sweep completed with quarantined (FAILED) cells
+    4  sweep drained by SIGINT/SIGTERM (journal flushed; resume with
+       --journal FILE --resume)
 ";
 
 /// Applies `--flag value` to the config. Returns whether the flag consumed
@@ -234,6 +252,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
     let mut journal: Option<std::path::PathBuf> = None;
     let mut resume = false;
     let mut keep_going = false;
+    let mut isolate = false;
+    let mut cell_deadline: Option<std::time::Duration> = None;
+    let mut cell_mem_mb: Option<u64> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -259,6 +280,32 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
             "--keep-going" => {
                 keep_going = true;
                 i += 1;
+            }
+            "--isolate" => {
+                isolate = true;
+                i += 1;
+            }
+            "--cell-deadline" => {
+                let secs: f64 = value
+                    .ok_or_else(|| err("--cell-deadline needs a value in seconds"))?
+                    .parse()
+                    .map_err(|_| err("invalid --cell-deadline (seconds, e.g. 30 or 0.5)"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(err("--cell-deadline must be a positive number of seconds"));
+                }
+                cell_deadline = Some(std::time::Duration::from_secs_f64(secs));
+                i += 2;
+            }
+            "--cell-mem-mb" => {
+                let mb: u64 = value
+                    .ok_or_else(|| err("--cell-mem-mb needs a value in MiB"))?
+                    .parse()
+                    .map_err(|_| err("invalid --cell-mem-mb (whole MiB, e.g. 512)"))?;
+                if mb == 0 {
+                    return Err(err("--cell-mem-mb must be positive"));
+                }
+                cell_mem_mb = Some(mb);
+                i += 2;
             }
             "--param" => {
                 param = Some(
@@ -292,6 +339,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
             (journal.is_some(), "--journal"),
             (resume, "--resume"),
             (keep_going, "--keep-going"),
+            (isolate, "--isolate"),
+            (cell_deadline.is_some(), "--cell-deadline"),
+            (cell_mem_mb.is_some(), "--cell-mem-mb"),
         ] {
             if set {
                 return Err(err(format!("{flag} is only valid with `sweep`")));
@@ -300,6 +350,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
     }
     if resume && journal.is_none() {
         return Err(err("--resume requires --journal FILE"));
+    }
+    if cell_mem_mb.is_some() && !isolate {
+        return Err(err(
+            "--cell-mem-mb requires --isolate (only a child process can be killed over it)",
+        ));
     }
 
     let command = match command.as_str() {
@@ -319,6 +374,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
                 journal,
                 resume,
                 keep_going,
+                isolate,
+                cell_deadline,
+                cell_mem_mb,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -409,6 +467,51 @@ mod tests {
         let e = parse_args(&argv("sweep --param theta --values 0.2 --resume")).unwrap_err();
         assert!(e.to_string().contains("requires --journal"));
         assert!(parse_args(&argv("sweep --param theta --values 0.2 --journal")).is_err());
+    }
+
+    #[test]
+    fn isolation_flags_parse() {
+        let cli = parse_args(&argv(
+            "sweep --param theta --values 0.2 --isolate --cell-deadline 2.5 --cell-mem-mb 512",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Sweep {
+                isolate,
+                cell_deadline,
+                cell_mem_mb,
+                ..
+            } => {
+                assert!(isolate);
+                assert_eq!(cell_deadline, Some(std::time::Duration::from_secs_f64(2.5)));
+                assert_eq!(cell_mem_mb, Some(512));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolation_flags_are_validated() {
+        // --cell-mem-mb without --isolate cannot be enforced.
+        let e =
+            parse_args(&argv("sweep --param theta --values 0.2 --cell-mem-mb 512")).unwrap_err();
+        assert!(e.to_string().contains("requires --isolate"), "{e}");
+        // Sweep-only.
+        assert!(parse_args(&argv("run --isolate")).is_err());
+        assert!(parse_args(&argv("run --cell-deadline 2")).is_err());
+        assert!(parse_args(&argv("compare --cell-mem-mb 10")).is_err());
+        // Malformed values.
+        for bad in [
+            "sweep --param theta --values 0.2 --cell-deadline 0",
+            "sweep --param theta --values 0.2 --cell-deadline -1",
+            "sweep --param theta --values 0.2 --cell-deadline soon",
+            "sweep --param theta --values 0.2 --isolate --cell-mem-mb 0",
+            "sweep --param theta --values 0.2 --isolate --cell-mem-mb lots",
+        ] {
+            assert!(parse_args(&argv(bad)).is_err(), "{bad} must be rejected");
+        }
+        // A thread-mode (advisory) deadline without --isolate is fine.
+        assert!(parse_args(&argv("sweep --param theta --values 0.2 --cell-deadline 30")).is_ok());
     }
 
     #[test]

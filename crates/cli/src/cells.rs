@@ -5,10 +5,12 @@
 //! sweep renders **byte-identical** output to an uninterrupted one.
 //!
 //! ```text
-//! payload: cell_index u64 LE │ status u8 (1 = ok, 0 = failed)
-//!   ok:     16 report fields, each 8 bytes LE (u64 or f64 bits),
-//!           in `Report` declaration order
-//!   failed: panic_len u32 LE │ panic text (UTF-8)
+//! payload: cell_index u64 LE │ status u8 (1 = ok, 0 = failed, 2 = drained)
+//!   ok:      16 report fields, each 8 bytes LE (u64 or f64 bits),
+//!            in `Report` declaration order
+//!   failed:  kind u8 │ attempts u32 LE │ text_len u32 LE │ text (UTF-8)
+//!   drained: empty body, cell_index 0 — the trailer a graceful
+//!            signal-drain stamps after its final flushed record
 //! ```
 //!
 //! Decoding is total: anything malformed yields `None`, never a panic —
@@ -18,14 +20,46 @@
 
 use grococa_core::{Report, Scheme, SimConfig};
 use grococa_journal::Fingerprint;
+use grococa_par::FailureKind;
 
 /// One journaled cell outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellRecord {
     /// The cell completed with this report.
     Ok(Report),
-    /// The cell was quarantined; the payload carries its panic text.
-    Failed(String),
+    /// The cell was quarantined: why, after how many attempts, with the
+    /// final attempt's failure text.
+    Failed {
+        /// The enforced failure classification.
+        kind: FailureKind,
+        /// Attempts actually made before quarantine.
+        attempts: u32,
+        /// Final attempt's failure text (panic message or kill reason).
+        message: String,
+    },
+    /// The drain trailer: the sweep was interrupted by a shutdown signal
+    /// after this journal's last record, flushed cleanly, and is safe to
+    /// resume.
+    Drained,
+}
+
+fn kind_to_byte(kind: FailureKind) -> u8 {
+    match kind {
+        FailureKind::Panic => 0,
+        FailureKind::Deadline => 1,
+        FailureKind::MemLimit => 2,
+        FailureKind::DrainKilled => 3,
+    }
+}
+
+fn kind_from_byte(byte: u8) -> Option<FailureKind> {
+    match byte {
+        0 => Some(FailureKind::Panic),
+        1 => Some(FailureKind::Deadline),
+        2 => Some(FailureKind::MemLimit),
+        3 => Some(FailureKind::DrainKilled),
+        _ => None,
+    }
 }
 
 /// The sweep fingerprint stored in the journal header: canonical base
@@ -112,12 +146,22 @@ pub fn encode_ok(index: usize, report: &Report) -> Vec<u8> {
 }
 
 /// Encodes a quarantined cell (informational; resume re-runs it).
-pub fn encode_failed(index: usize, panic_text: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + 1 + 4 + panic_text.len());
+pub fn encode_failed(index: usize, kind: FailureKind, attempts: u32, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1 + 1 + 4 + 4 + message.len());
     out.extend_from_slice(&(index as u64).to_le_bytes());
     out.push(0);
-    out.extend_from_slice(&(panic_text.len() as u32).to_le_bytes());
-    out.extend_from_slice(panic_text.as_bytes());
+    out.push(kind_to_byte(kind));
+    out.extend_from_slice(&attempts.to_le_bytes());
+    out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Encodes the drain trailer a graceful shutdown appends last.
+pub fn encode_drained() -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 1);
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.push(2);
     out
 }
 
@@ -141,15 +185,30 @@ pub fn decode(payload: &[u8]) -> Option<(usize, CellRecord)> {
             Some((index, CellRecord::Ok(report_from_words(&words))))
         }
         0 => {
-            if body.len() < 4 {
+            if body.len() < 9 {
                 return None;
             }
-            let len = u32::from_le_bytes(body[..4].try_into().ok()?) as usize;
-            if body.len() != 4 + len {
+            let kind = kind_from_byte(body[0])?;
+            let attempts = u32::from_le_bytes(body[1..5].try_into().ok()?);
+            let len = u32::from_le_bytes(body[5..9].try_into().ok()?) as usize;
+            if body.len() != 9 + len {
                 return None;
             }
-            let text = std::str::from_utf8(&body[4..]).ok()?;
-            Some((index, CellRecord::Failed(text.to_string())))
+            let message = std::str::from_utf8(&body[9..]).ok()?.to_string();
+            Some((
+                index,
+                CellRecord::Failed {
+                    kind,
+                    attempts,
+                    message,
+                },
+            ))
+        }
+        2 => {
+            if !body.is_empty() || index != 0 {
+                return None;
+            }
+            Some((0, CellRecord::Drained))
         }
         _ => None,
     }
@@ -194,12 +253,40 @@ mod tests {
 
     #[test]
     fn failed_record_round_trips() {
-        let (index, decoded) = decode(&encode_failed(7, "boom: cell exploded")).expect("decodes");
+        let payload = encode_failed(7, FailureKind::Deadline, 2, "boom: cell exploded");
+        let (index, decoded) = decode(&payload).expect("decodes");
         assert_eq!(index, 7);
         assert_eq!(
             decoded,
-            CellRecord::Failed("boom: cell exploded".to_string())
+            CellRecord::Failed {
+                kind: FailureKind::Deadline,
+                attempts: 2,
+                message: "boom: cell exploded".to_string(),
+            }
         );
+    }
+
+    #[test]
+    fn every_failure_kind_round_trips() {
+        for kind in [
+            FailureKind::Panic,
+            FailureKind::Deadline,
+            FailureKind::MemLimit,
+            FailureKind::DrainKilled,
+        ] {
+            let (_, decoded) = decode(&encode_failed(3, kind, 1, "x")).expect("decodes");
+            match decoded {
+                CellRecord::Failed { kind: got, .. } => assert_eq!(got, kind),
+                other => panic!("wrong record {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drained_trailer_round_trips() {
+        let (index, decoded) = decode(&encode_drained()).expect("decodes");
+        assert_eq!(index, 0);
+        assert_eq!(decoded, CellRecord::Drained);
     }
 
     #[test]
@@ -209,12 +296,22 @@ mod tests {
         let mut ok = encode_ok(1, &sample_report());
         ok.truncate(ok.len() - 1);
         assert_eq!(decode(&ok), None);
-        let mut failed = encode_failed(1, "text");
+        let mut failed = encode_failed(1, FailureKind::Panic, 1, "text");
         failed.push(0xFF);
         assert_eq!(decode(&failed), None);
+        let mut bad_kind = encode_failed(1, FailureKind::Panic, 1, "text");
+        bad_kind[9] = 200;
+        assert_eq!(decode(&bad_kind), None);
         let mut bad_status = encode_ok(1, &sample_report());
         bad_status[8] = 9;
         assert_eq!(decode(&bad_status), None);
+        let mut drained = encode_drained();
+        drained.push(0);
+        assert_eq!(decode(&drained), None);
+        // A drain trailer with a non-zero index is malformed.
+        let mut bad_drain = encode_drained();
+        bad_drain[0] = 1;
+        assert_eq!(decode(&bad_drain), None);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Signal-drain state shared between the binary's signal handler and
+//! the sweep loop.
+//!
+//! The handler itself lives in `main.rs` (installing one requires an
+//! `unsafe extern` declaration the library crate forbids); all it does
+//! is call [`DrainState::note_signal`] on the global [`DRAIN`] — a
+//! single atomic increment, which is async-signal-safe. The sweep loop
+//! polls the derived predicates:
+//!
+//! * [`DrainState::drain_requested`] (first signal): workers stop
+//!   claiming new cells, in-flight cells finish, the journal is flushed
+//!   and stamped with a `Drained` trailer, and the process exits with
+//!   the dedicated drained code (4).
+//! * [`DrainState::escalated`] (second signal): in-flight
+//!   process-isolated cells are killed and quarantined as `drain-kill`
+//!   failures, so a hung cell cannot hold the drain hostage. (Thread
+//!   mode cannot preempt a running cell — use `--isolate` for sweeps
+//!   that must honour escalation.)
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A monotonically increasing shutdown-signal count and the drain
+/// predicates derived from it.
+#[derive(Debug)]
+pub struct DrainState {
+    signals: AtomicU32,
+}
+
+impl DrainState {
+    /// A state with no signals received.
+    pub const fn new() -> Self {
+        DrainState {
+            signals: AtomicU32::new(0),
+        }
+    }
+
+    /// Records one shutdown signal. Async-signal-safe: a single atomic
+    /// increment, no allocation, no locking.
+    pub fn note_signal(&self) {
+        self.signals.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many shutdown signals have been received.
+    pub fn signal_count(&self) -> u32 {
+        self.signals.load(Ordering::SeqCst)
+    }
+
+    /// Whether a graceful drain has been requested (≥ 1 signal).
+    pub fn drain_requested(&self) -> bool {
+        self.signal_count() >= 1
+    }
+
+    /// Whether the drain has escalated (≥ 2 signals): kill in-flight
+    /// isolated cells instead of waiting for them.
+    pub fn escalated(&self) -> bool {
+        self.signal_count() >= 2
+    }
+}
+
+impl Default for DrainState {
+    fn default() -> Self {
+        DrainState::new()
+    }
+}
+
+/// The process-wide drain state the signal handler feeds.
+pub static DRAIN: DrainState = DrainState::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests use a local DrainState: touching the global DRAIN would
+    // leak drain mode into every other in-process sweep test.
+    #[test]
+    fn signal_thresholds() {
+        let state = DrainState::new();
+        assert!(!state.drain_requested());
+        assert!(!state.escalated());
+        state.note_signal();
+        assert!(state.drain_requested());
+        assert!(!state.escalated());
+        state.note_signal();
+        assert!(state.drain_requested());
+        assert!(state.escalated());
+        assert_eq!(state.signal_count(), 2);
+    }
+}

@@ -7,14 +7,22 @@
 
 pub mod args;
 pub mod cells;
+pub mod drain;
 pub mod output;
+pub mod worker;
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use grococa_core::{ConfigError, Scheme, SimConfig, Simulation};
-use grococa_journal::{Journal, JournalError};
-use grococa_par::SuperviseOptions;
+use grococa_journal::{FaultScript, FaultyBackend, Journal, JournalError};
+use grococa_par::{
+    payload_text, run_attempts, warn_once, AttemptFailure, FailureKind, JobFailure, Slot,
+    SuperviseOptions,
+};
 
 use args::{apply_sweep_value, ArgError, Cli, Command};
 use cells::CellRecord;
@@ -75,13 +83,33 @@ impl From<JournalError> for CliError {
 /// The result of executing a command line: the rendered output plus how
 /// many sweep cells were quarantined as `FAILED` rows (always zero
 /// outside `sweep --keep-going`). The binary maps a non-zero count to
-/// exit code 3 — "completed with quarantined cells".
+/// exit code 3 — "completed with quarantined cells" — and a drained
+/// sweep to exit code 4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecOutcome {
-    /// The rendered table or CSV.
+    /// The rendered table or CSV. Empty for a drained sweep: a partial
+    /// grid must never masquerade as results, and the resume renders the
+    /// full byte-identical output instead.
     pub rendered: String,
     /// Sweep cells that failed past their retry budget.
     pub quarantined: usize,
+    /// Quarantine reasons grouped by kind (e.g. `2 panic, 1 deadline`),
+    /// for the end-of-sweep summary line. `None` when nothing failed.
+    pub quarantine_summary: Option<String>,
+    /// A drained sweep's stderr note ("journal flushed, N/M cells done,
+    /// resume with ..."); `Some` exactly when the sweep drained.
+    pub drained: Option<String>,
+}
+
+impl ExecOutcome {
+    fn completed(rendered: String) -> ExecOutcome {
+        ExecOutcome {
+            rendered,
+            quarantined: 0,
+            quarantine_summary: None,
+            drained: None,
+        }
+    }
 }
 
 /// The environment variable of the chaos test hook: a comma-separated
@@ -90,7 +118,14 @@ pub struct ExecOutcome {
 /// integration tests and CI; never set it in real use.
 pub const CHAOS_ENV: &str = "GROCOCA_CHAOS_FAIL_CELLS";
 
-fn chaos_cells() -> Vec<usize> {
+/// The environment variable of the journal chaos hook: a
+/// [`grococa_journal::FaultScript`] spec (`<mode>:<op>[:persist]`, mode
+/// one of `full|eio|short|sync`) injected between the journal and its
+/// file, so the disk-fault degrade paths are drivable end-to-end from
+/// integration tests and CI. Never set it in real use.
+pub const CHAOS_JOURNAL_ENV: &str = "GROCOCA_CHAOS_JOURNAL";
+
+pub(crate) fn chaos_cells() -> Vec<usize> {
     std::env::var(CHAOS_ENV)
         .ok()
         .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
@@ -127,10 +162,7 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
             output::to_table(rows)
         }
     };
-    let done = |rendered: String| ExecOutcome {
-        rendered,
-        quarantined: 0,
-    };
+    let done = ExecOutcome::completed;
     match &cli.command {
         Command::Help => Ok(done(args::USAGE.to_string())),
         Command::Run(cfg) => {
@@ -157,46 +189,177 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
             journal,
             resume,
             keep_going,
+            isolate,
+            cell_deadline,
+            cell_mem_mb,
         } => {
-            // Validate the whole grid up front: a bad cell aborts before
-            // any simulation time is spent.
-            let mut cells = Vec::new();
-            for &x in values {
-                for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
-                    let mut c = (**base).clone();
-                    c.scheme = scheme;
-                    apply_sweep_value(&mut c, param, x)?;
-                    c.validate()?;
-                    cells.push((x, scheme, c));
-                }
-            }
-            let rows = run_sweep(
+            let cells = build_cells(base, param, values)?;
+            let outcome = run_sweep(
                 &cells,
-                SweepDurability {
+                SweepSettings {
                     fingerprint: cells::sweep_fingerprint(base, param, values, cells.len()),
                     journal: journal.as_deref(),
                     resume: *resume,
                     keep_going: *keep_going,
+                    isolate: *isolate,
+                    isolation: worker::Isolation {
+                        deadline: *cell_deadline,
+                        mem_limit_bytes: cell_mem_mb.map(|mb| mb << 20),
+                    },
                 },
             )?;
-            let quarantined = rows
-                .iter()
-                .filter(|r| matches!(r.outcome, output::RowOutcome::Failed))
-                .count();
-            Ok(ExecOutcome {
-                rendered: render(&rows),
-                quarantined,
-            })
+            match outcome {
+                SweepOutcome::Finished { rows, failures } => Ok(ExecOutcome {
+                    rendered: render(&rows),
+                    quarantined: failures.len(),
+                    quarantine_summary: quarantine_summary(&failures),
+                    drained: None,
+                }),
+                SweepOutcome::Drained { settled, total } => Ok(ExecOutcome {
+                    rendered: String::new(),
+                    quarantined: 0,
+                    quarantine_summary: None,
+                    drained: Some(format!(
+                        "sweep drained by shutdown signal: {settled}/{total} cells done{}",
+                        match journal {
+                            Some(path) => format!(
+                                "; journal flushed — resume with \
+                                 `--journal {} --resume`",
+                                path.display()
+                            ),
+                            None =>
+                                "; no journal was configured, completed cells are lost".to_string(),
+                        }
+                    )),
+                }),
+            }
         }
     }
 }
 
-/// Durability settings threaded into [`run_sweep`].
-struct SweepDurability<'a> {
+/// Builds and validates the full sweep grid up front: a bad cell aborts
+/// before any simulation time is spent. Shared by the sweep driver and
+/// the isolation worker (which must derive the *identical* grid from
+/// the same argv).
+pub(crate) fn build_cells(
+    base: &SimConfig,
+    param: &str,
+    values: &[f64],
+) -> Result<Vec<(f64, Scheme, SimConfig)>, CliError> {
+    let mut cells = Vec::new();
+    for &x in values {
+        for scheme in [Scheme::Conventional, Scheme::Coca, Scheme::GroCoca] {
+            let mut c = base.clone();
+            c.scheme = scheme;
+            apply_sweep_value(&mut c, param, x)?;
+            c.validate()?;
+            cells.push((x, scheme, c));
+        }
+    }
+    Ok(cells)
+}
+
+/// Formats quarantine reasons by kind (`2 panic, 1 deadline`).
+fn quarantine_summary(failures: &[(usize, JobFailure)]) -> Option<String> {
+    if failures.is_empty() {
+        return None;
+    }
+    let kinds = [
+        FailureKind::Panic,
+        FailureKind::Deadline,
+        FailureKind::MemLimit,
+        FailureKind::DrainKilled,
+    ];
+    let parts: Vec<String> = kinds
+        .into_iter()
+        .filter_map(|kind| {
+            let count = failures.iter().filter(|(_, f)| f.kind == kind).count();
+            (count > 0).then(|| format!("{count} {}", kind.label()))
+        })
+        .collect();
+    Some(parts.join(", "))
+}
+
+/// Settings threaded into [`run_sweep`]: durability and enforcement.
+struct SweepSettings<'a> {
     fingerprint: grococa_journal::Fingerprint,
     journal: Option<&'a std::path::Path>,
     resume: bool,
     keep_going: bool,
+    isolate: bool,
+    isolation: worker::Isolation,
+}
+
+/// How a sweep ended.
+enum SweepOutcome {
+    /// Every cell was attempted; rows are complete (quarantined cells
+    /// render as FAILED under `--keep-going`).
+    Finished {
+        rows: Vec<Row>,
+        failures: Vec<(usize, JobFailure)>,
+    },
+    /// A shutdown signal drained the sweep: in-flight cells finished
+    /// and were journaled, unclaimed cells were never started. No rows
+    /// are rendered — the resumed run renders the full output.
+    Drained { settled: usize, total: usize },
+}
+
+/// A journal that can degrade mid-sweep: appends route through
+/// [`SweepJournal::append`], which on a classified disk fault either
+/// degrades to un-journaled execution (`--keep-going`) or records a
+/// fatal error and asks the pool to stop claiming cells.
+struct SweepJournal {
+    journal: Mutex<Option<Journal>>,
+    fatal: Mutex<Option<CliError>>,
+    abort: AtomicBool,
+    keep_going: bool,
+}
+
+impl SweepJournal {
+    fn new(journal: Option<Journal>, keep_going: bool) -> SweepJournal {
+        SweepJournal {
+            journal: Mutex::new(journal),
+            fatal: Mutex::new(None),
+            abort: AtomicBool::new(false),
+            keep_going,
+        }
+    }
+
+    fn append(&self, payload: &[u8]) {
+        let mut guard = self
+            .journal
+            .lock()
+            .expect("journal lock never poisons: appends don't panic");
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.append(payload) {
+            // The append rolled back (or wedged): the on-disk prefix is
+            // still clean either way. What happens next is policy.
+            if self.keep_going {
+                warn_once(
+                    "journal-degrade",
+                    &format!(
+                        "{e}; continuing WITHOUT journaling — cells completed \
+                         from here on will not be resumable"
+                    ),
+                );
+            } else {
+                *self.fatal.lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some(CliError::Journal(e.into()));
+                self.abort.store(true, Ordering::SeqCst);
+            }
+            *guard = None;
+        }
+    }
+
+    fn aborting(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    fn into_fatal(self) -> Option<CliError> {
+        self.fatal.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// Runs a validated sweep grid on the `GROCOCA_JOBS`-wide supervised
@@ -204,23 +367,29 @@ struct SweepDurability<'a> {
 ///
 /// Cell results are collected **by grid index**, so the rendered rows are
 /// byte-identical to the old serial path for any worker count — and,
-/// because every cell is deterministic, a killed-and-resumed sweep
-/// renders byte-identical output to an uninterrupted one.
+/// because every cell is deterministic, a killed, drained or resumed
+/// sweep renders byte-identical output to an uninterrupted one.
+///
+/// With `--isolate`, cells run in re-exec'd child processes and the
+/// deadline/memory limits are enforced by `kill()` (see [`worker`]);
+/// otherwise cells run on threads with the deadline advisory.
 fn run_sweep(
     cells: &[(f64, Scheme, SimConfig)],
-    durability: SweepDurability<'_>,
-) -> Result<Vec<Row>, CliError> {
+    settings: SweepSettings<'_>,
+) -> Result<SweepOutcome, CliError> {
     let n = cells.len();
     let mut settled: Vec<Option<grococa_core::Report>> = vec![None; n];
 
     // Open the journal first: completed cells recorded by a previous
-    // (killed) run are settled before any simulation time is spent.
-    let journal = match durability.journal {
+    // (killed or drained) run are settled before any simulation time is
+    // spent. A `Drained` trailer or `Failed` record just means "re-run
+    // whatever is not recorded Ok".
+    let journal = match settings.journal {
         None => None,
-        Some(path) if durability.resume => {
-            let recovered = Journal::open_or_create(path, &durability.fingerprint)?;
+        Some(path) if settings.resume => {
+            let recovered = Journal::open_or_create(path, &settings.fingerprint)?;
             if let Some(warning) = &recovered.warning {
-                eprintln!("warning: {warning}");
+                warn_once("journal-truncated", warning);
             }
             for raw in &recovered.records {
                 if let Some((idx, CellRecord::Ok(report))) = cells::decode(raw) {
@@ -229,40 +398,92 @@ fn run_sweep(
                     }
                 }
             }
-            Some(Mutex::new(recovered.journal))
+            Some(recovered.journal)
         }
-        Some(path) => Some(Mutex::new(Journal::create(path, &durability.fingerprint)?)),
+        Some(path) => Some(Journal::create(path, &settings.fingerprint)?),
     };
 
-    let chaos = chaos_cells();
     let pending: Vec<usize> = (0..n).filter(|&i| settled[i].is_none()).collect();
-    let opts = SuperviseOptions::with_jobs(grococa_par::jobs_from_env());
-    let results = grococa_par::run_supervised(&pending, &opts, |&cell| {
-        assert!(
-            !chaos.contains(&cell),
-            "chaos hook: injected panic for sweep cell {cell}"
-        );
-        let report = Simulation::new(cells[cell].2.clone()).run().report;
-        if let Some(journal) = &journal {
-            // Write-ahead: the cell is durable before it counts as done.
-            // An append failure costs durability, not correctness — the
-            // in-memory result still renders.
-            let appended = journal
-                .lock()
-                .expect("journal lock never poisons: appends don't panic")
-                .append(&cells::encode_ok(cell, &report));
-            if let Err(e) = appended {
-                eprintln!("warning: journal append for cell {cell} failed: {e}");
+
+    // Preflight: refuse to start hours of work against a disk that
+    // cannot hold the journal the sweep is counting on (degradable
+    // under --keep-going, like any other append-path fault).
+    let mut journal = journal;
+    if let (Some(path), false) = (settings.journal, pending.is_empty()) {
+        // Generous per-record estimate: payload (~150 bytes) + framing.
+        let estimate = (pending.len() as u64 + 1) * 256;
+        if let Err(e) = grococa_journal::preflight_space(path, estimate) {
+            if settings.keep_going {
+                warn_once(
+                    "journal-degrade",
+                    &format!(
+                        "journal preflight failed ({e}); continuing WITHOUT \
+                         journaling — completed cells will not be resumable"
+                    ),
+                );
+                journal = None;
+            } else {
+                return Err(CliError::Journal(JournalError::Append(e)));
             }
         }
-        report
-    });
+    }
 
-    let mut failures = Vec::new();
-    for (&cell, result) in pending.iter().zip(results) {
-        match result {
-            Ok(report) => settled[cell] = Some(report),
-            Err(failure) => failures.push((cell, failure)),
+    // Chaos seam: scripted disk faults between the journal and its file.
+    if let (Some(journal), Ok(spec)) = (journal.as_mut(), std::env::var(CHAOS_JOURNAL_ENV)) {
+        let script = FaultScript::parse(&spec)
+            .map_err(|e| CliError::Sweep(format!("{CHAOS_JOURNAL_ENV}={spec:?}: {e}")))?;
+        journal.wrap_backend(|inner| Box::new(FaultyBackend::new(inner, script)));
+    }
+
+    let journal = SweepJournal::new(journal, settings.keep_going);
+    let chaos = chaos_cells();
+    let mut opts = SuperviseOptions::with_jobs(grococa_par::jobs_from_env());
+    opts.deadline = settings.isolation.deadline;
+    let fingerprint_hash = settings.fingerprint.config_hash;
+    let drain_check = || drain::DRAIN.drain_requested() || journal.aborting();
+
+    let attempt = |&cell: &usize, _idx: usize| -> Result<grococa_core::Report, AttemptFailure> {
+        let result = if settings.isolate {
+            worker::attempt_isolated(cell, fingerprint_hash, &settings.isolation)
+        } else {
+            let started = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| {
+                assert!(
+                    !chaos.contains(&cell),
+                    "chaos hook: injected panic for sweep cell {cell}"
+                );
+                Simulation::new(cells[cell].2.clone()).run().report
+            })) {
+                Ok(report) => Ok(report),
+                Err(payload) => {
+                    let overran = opts.deadline.is_some_and(|d| started.elapsed() > d);
+                    Err(AttemptFailure {
+                        kind: if overran {
+                            FailureKind::Deadline
+                        } else {
+                            FailureKind::Panic
+                        },
+                        message: payload_text(payload.as_ref()).to_string(),
+                    })
+                }
+            }
+        };
+        if let Ok(report) = &result {
+            // Write-ahead: the cell is durable before it counts as done.
+            journal.append(&cells::encode_ok(cell, report));
+        }
+        result
+    };
+
+    let slots = run_attempts(&pending, &opts, Some(&drain_check), attempt);
+
+    let mut failures: Vec<(usize, JobFailure)> = Vec::new();
+    let mut skipped = 0usize;
+    for (&cell, slot) in pending.iter().zip(slots) {
+        match slot {
+            Slot::Done(report) => settled[cell] = Some(report),
+            Slot::Failed(failure) => failures.push((cell, failure)),
+            Slot::Skipped => skipped += 1,
         }
     }
 
@@ -272,42 +493,59 @@ fn run_sweep(
             "warning: sweep cell {cell} ({} at x={x}) quarantined: {failure}",
             scheme.label()
         );
-        if let Some(journal) = &journal {
-            let record = cells::encode_failed(*cell, &failure.panic_text);
-            if let Err(e) = journal
-                .lock()
-                .expect("journal lock never poisons: appends don't panic")
-                .append(&record)
-            {
-                eprintln!("warning: journal append for cell {cell} failed: {e}");
-            }
-        }
+        journal.append(&cells::encode_failed(
+            *cell,
+            failure.kind,
+            failure.attempts,
+            &failure.message,
+        ));
+    }
+
+    // A journal fault without --keep-going aborted the pool: surface it
+    // as the sweep's error (takes precedence over a concurrent drain —
+    // the journal can no longer certify what was saved).
+    let drained = drain::DRAIN.drain_requested() && skipped > 0;
+    if drained {
+        // Stamp the flushed journal so a later `--resume` knows this was
+        // a clean drain, not a crash.
+        journal.append(&cells::encode_drained());
+    }
+    if let Some(fatal) = journal.into_fatal() {
+        return Err(fatal);
+    }
+    if drained {
+        return Ok(SweepOutcome::Drained {
+            settled: settled.iter().filter(|s| s.is_some()).count(),
+            total: n,
+        });
     }
 
     if let Some((cell, failure)) = failures.first() {
-        if !durability.keep_going {
+        if !settings.keep_going {
             return Err(CliError::Sweep(format!(
-                "sweep cell {cell} failed after {} attempt(s): {}{} \
-                 (use --keep-going to quarantine failing cells and finish the grid)",
-                failure.attempts,
-                failure.panic_text,
-                if failure.exceeded_deadline {
-                    " (exceeded watchdog deadline)"
-                } else {
-                    ""
-                }
+                "sweep {failure} \
+                 (use --keep-going to quarantine failing cells and finish the grid; \
+                 first failing cell: {cell})"
             )));
         }
     }
 
-    Ok(cells
+    let rows = cells
         .iter()
         .enumerate()
         .map(|(i, (x, scheme, _))| match settled[i] {
             Some(report) => Row::ok(*scheme, Some(*x), report),
-            None => Row::failed(*scheme, Some(*x)),
+            None => {
+                let failure = failures.iter().find(|(cell, _)| *cell == i).map(|(_, f)| f);
+                match failure {
+                    Some(f) => Row::failed(*scheme, Some(*x), f.kind.label(), f.attempts),
+                    // Unreachable in a finished sweep, but total anyway.
+                    None => Row::failed(*scheme, Some(*x), "unknown", 0),
+                }
+            }
         })
-        .collect())
+        .collect();
+    Ok(SweepOutcome::Finished { rows, failures })
 }
 
 #[cfg(test)]

@@ -3,8 +3,58 @@
 
 use std::process::ExitCode;
 
+/// Shutdown-signal handling for sweeps. The handler body is one atomic
+/// increment on [`grococa_cli::drain::DRAIN`] — async-signal-safe — and
+/// the sweep loop does everything else at its leisure. Installed only
+/// for `sweep` commands: a Ctrl-C during `run`/`compare` should keep
+/// killing the process immediately.
+#[cfg(unix)]
+mod signals {
+    // The library crates forbid unsafe code; the one unavoidable unsafe
+    // surface in the whole workspace — registering a C signal handler —
+    // lives here in the binary, scoped to this module.
+    #![allow(unsafe_code)]
+
+    extern "C" fn on_signal(_signum: i32) {
+        grococa_cli::drain::DRAIN.note_signal();
+    }
+
+    unsafe extern "C" {
+        // POSIX `signal(2)`. `sighandler_t` is a function pointer; both
+        // it and the return value travel as plain addresses.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes SIGINT and SIGTERM into the drain counter.
+    pub(crate) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        // SAFETY: `on_signal` is async-signal-safe (a single atomic
+        // fetch_add, no allocation or locking), has the exact
+        // `extern "C" fn(i32)` ABI `signal` expects, and is installed
+        // before any sweep worker threads exist.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No graceful drain off Unix; a signal just kills the process and
+    /// the crash-safe journal picks up from the last fsync.
+    pub(crate) fn install() {}
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Isolation-worker dispatch comes first: a re-exec'd child must run
+    // exactly one cell and exit, whatever else the argv says.
+    if let Some(cell) = grococa_cli::worker::worker_cell_from_env() {
+        return ExitCode::from(grococa_cli::worker::run_worker(cell, &argv));
+    }
     let cli = match grococa_cli::args::parse_args(&argv) {
         Ok(cli) => cli,
         Err(e) => {
@@ -13,16 +63,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if matches!(cli.command, grococa_cli::args::Command::Sweep { .. }) {
+        signals::install();
+    }
     match grococa_cli::execute_outcome(&cli) {
         Ok(out) => {
             print!("{}", out.rendered);
-            if out.quarantined > 0 {
+            if let Some(note) = out.drained {
+                // A drained sweep renders nothing: the resume prints the
+                // full byte-identical grid instead. Dedicated exit code
+                // so supervisors can distinguish "cleanly interrupted,
+                // resumable" from success, quarantine and failure.
+                eprintln!("note: {note}");
+                ExitCode::from(4)
+            } else if out.quarantined > 0 {
                 // The grid finished, but some cells were quarantined as
                 // FAILED rows — distinct from both success and the error
                 // exits so sweep drivers can retry just those cells.
                 eprintln!(
-                    "warning: sweep completed with {} quarantined cell(s)",
-                    out.quarantined
+                    "warning: sweep completed with {} quarantined cell(s){}",
+                    out.quarantined,
+                    out.quarantine_summary
+                        .map_or_else(String::new, |s| format!(" ({s})")),
                 );
                 ExitCode::from(3)
             } else {

@@ -22,8 +22,15 @@ pub const COLUMNS: [&str; 10] = [
 pub enum RowOutcome {
     /// The run completed; render its metrics.
     Report(Report),
-    /// The cell panicked past its retry budget; render a `FAILED` row.
-    Failed,
+    /// The cell failed past its retry budget; render a
+    /// `FAILED(<reason> x<attempts>)` row naming the quarantine reason
+    /// (`panic`, `deadline`, `oom`, `drain-kill`) and the attempt count.
+    Failed {
+        /// The quarantine reason label ([`grococa_par::FailureKind::label`]).
+        reason: &'static str,
+        /// Attempts actually made before quarantine.
+        attempts: u32,
+    },
 }
 
 /// One output row: a scheme, an optional sweep coordinate, and its
@@ -49,11 +56,11 @@ impl Row {
     }
 
     /// A row for a quarantined (failed) sweep cell.
-    pub fn failed(scheme: Scheme, x: Option<f64>) -> Row {
+    pub fn failed(scheme: Scheme, x: Option<f64>, reason: &'static str, attempts: u32) -> Row {
         Row {
             scheme,
             x,
-            outcome: RowOutcome::Failed,
+            outcome: RowOutcome::Failed { reason, attempts },
         }
     }
 }
@@ -64,8 +71,8 @@ fn fields(row: &Row) -> Vec<String> {
         row.x.map(|x| format!("{x}")).unwrap_or_default(),
     ];
     match &row.outcome {
-        RowOutcome::Failed => {
-            out.push("FAILED".to_string());
+        RowOutcome::Failed { reason, attempts } => {
+            out.push(format!("FAILED({reason} x{attempts})"));
             out.extend((3..COLUMNS.len()).map(|_| String::new()));
         }
         RowOutcome::Report(r) => {
@@ -178,21 +185,25 @@ mod tests {
     }
 
     #[test]
-    fn failed_rows_render_explicitly() {
+    fn failed_rows_render_reason_and_attempts() {
         let csv = to_csv(&[
             sample_row(Some(1.0)),
-            Row::failed(Scheme::GroCoca, Some(2.0)),
+            Row::failed(Scheme::GroCoca, Some(2.0), "panic", 2),
         ]);
         let failed_line = csv.lines().nth(2).unwrap();
         assert_eq!(
             failed_line,
-            format!("GC,2,FAILED{}", ",".repeat(COLUMNS.len() - 3))
+            format!("GC,2,FAILED(panic x2){}", ",".repeat(COLUMNS.len() - 3))
         );
         let table = to_table(&[
             sample_row(Some(1.0)),
-            Row::failed(Scheme::GroCoca, Some(2.0)),
+            Row::failed(Scheme::GroCoca, Some(2.0), "deadline", 1),
         ]);
-        assert!(table.lines().nth(2).unwrap().contains("FAILED"));
+        assert!(table
+            .lines()
+            .nth(2)
+            .unwrap()
+            .contains("FAILED(deadline x1)"));
     }
 
     #[test]

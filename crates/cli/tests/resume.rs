@@ -1,6 +1,9 @@
-//! Subprocess integration tests of crash-safe sweeps: kill -9 mid-grid and
-//! resume to byte-identical output, quarantine semantics and exit code 3,
-//! fingerprint-mismatch refusal, and corrupt-tail recovery.
+//! Subprocess integration tests of crash-safe, supervised sweeps:
+//! kill -9 mid-grid and resume to byte-identical output, quarantine
+//! semantics and exit code 3, fingerprint-mismatch refusal, corrupt-tail
+//! recovery, process-isolated cells with enforced deadline/memory kills,
+//! SIGTERM graceful drain (exit code 4) with byte-identical resume, and
+//! injected journal disk faults.
 //!
 //! Every child process pins `GROCOCA_JOBS` so the pool path is exercised
 //! regardless of the host's visible core count.
@@ -21,15 +24,31 @@ fn scratch(test: &str) -> PathBuf {
 }
 
 /// A `grococa` child with the given CLI words, `GROCOCA_JOBS` pinned, and
-/// the chaos hook cleared unless the test sets it.
+/// every chaos hook cleared unless the test sets one.
 fn grococa(args: &[&str], jobs: &str) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_grococa"));
     cmd.args(args)
         .env("GROCOCA_JOBS", jobs)
         .env_remove(grococa_cli::CHAOS_ENV)
+        .env_remove(grococa_cli::CHAOS_JOURNAL_ENV)
+        .env_remove(grococa_cli::worker::CHAOS_HANG_ENV)
+        .env_remove(grococa_cli::worker::CHAOS_BLOAT_ENV)
+        .env_remove(grococa_cli::worker::WORKER_CELL_ENV)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
     cmd
+}
+
+/// Sends `sig` (e.g. "TERM") to a child via the `kill` utility: the
+/// standard library has no signalling API short of SIGKILL.
+#[cfg(unix)]
+fn send_signal(pid: u32, sig: &str) {
+    let status = Command::new("kill")
+        .arg(format!("-{sig}"))
+        .arg(pid.to_string())
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -{sig} {pid} failed");
 }
 
 fn run(args: &[&str], jobs: &str) -> Output {
@@ -261,5 +280,281 @@ fn unparsable_jobs_env_warns_once_and_falls_back() {
         err.matches("GROCOCA_JOBS").count(),
         1,
         "exactly one warning expected: {err}"
+    );
+}
+
+// ---- process isolation (`--isolate`) ---------------------------------
+
+fn with_flags(base: &[&str], extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+#[test]
+fn isolated_sweep_is_byte_identical_to_thread_mode() {
+    let threaded = run(SMALL, "2");
+    let isolated = run(&as_strs(&with_flags(SMALL, &["--isolate"])), "2");
+    assert!(threaded.status.success(), "{}", stderr(&threaded));
+    assert!(isolated.status.success(), "{}", stderr(&isolated));
+    assert_eq!(
+        stdout(&threaded),
+        stdout(&isolated),
+        "--isolate changed sweep bytes"
+    );
+}
+
+#[test]
+fn hung_cell_is_killed_at_deadline_and_rest_of_grid_matches() {
+    let clean = run(SMALL, "2");
+    assert!(clean.status.success());
+
+    let args = with_flags(
+        SMALL,
+        &["--isolate", "--cell-deadline", "1", "--keep-going"],
+    );
+    let mut cmd = grococa(&as_strs(&args), "2");
+    cmd.env(grococa_cli::worker::CHAOS_HANG_ENV, "2");
+    let out = cmd.output().expect("spawn grococa");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "deadline kill must quarantine (exit 3); stderr: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l.contains("FAILED(deadline x2)")),
+        "no deadline-kill row in:\n{text}"
+    );
+    // Every healthy cell renders exactly the bytes of the clean run.
+    let clean_text = stdout(&clean);
+    let clean_rows: Vec<&str> = clean_text.lines().map(|l| l.trim_end()).collect();
+    let healthy = text
+        .lines()
+        .filter(|l| !l.contains("FAILED"))
+        .filter(|l| clean_rows.contains(&l.trim_end()))
+        .count();
+    assert_eq!(
+        healthy,
+        clean_rows.len() - 1,
+        "healthy rows diverged from the clean run:\n{text}"
+    );
+    assert!(stderr(&out).contains("deadline"), "{}", stderr(&out));
+}
+
+#[test]
+fn bloating_cell_is_killed_at_memory_ceiling() {
+    let args = with_flags(
+        SMALL,
+        &[
+            "--isolate",
+            "--cell-mem-mb",
+            "150",
+            "--cell-deadline",
+            "30",
+            "--keep-going",
+        ],
+    );
+    let mut cmd = grococa(&as_strs(&args), "2");
+    cmd.env(grococa_cli::worker::CHAOS_BLOAT_ENV, "1");
+    let out = cmd.output().expect("spawn grococa");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "memory kill must quarantine (exit 3); stderr: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l.contains("FAILED(oom x2)")),
+        "no oom-kill row in:\n{text}"
+    );
+    assert!(stderr(&out).contains("oom"), "{}", stderr(&out));
+}
+
+// ---- graceful drain (SIGINT/SIGTERM) ---------------------------------
+
+/// Polls until the journal at `path` holds at least `cells` settled
+/// records, or the child exits first. Returns false if the child beat us.
+#[cfg(unix)]
+fn wait_for_journal_growth(child: &mut std::process::Child, path: &Path, cells: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if bytes > 41 + cells * 149 {
+            return true;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            return false;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never grew past {cells} cells"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_with_exit_four_and_resume_is_byte_identical() {
+    let dir = scratch("sigterm-drain");
+    let journal = dir.join("sweep.gcj");
+
+    let clean = run(SLOW, "2");
+    assert!(clean.status.success());
+
+    let args = with_journal(SLOW, &journal, &[]);
+    let mut child = grococa(&as_strs(&args), "2").spawn().expect("spawn sweep");
+    if !wait_for_journal_growth(&mut child, &journal, 3) {
+        // The grid finished before the signal window opened; nothing to
+        // drain. (Practically impossible for the SLOW grid.)
+        return;
+    }
+    send_signal(child.id(), "TERM");
+    let out = child.wait_with_output().expect("collect drained sweep");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "drained sweep must exit 4; stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).is_empty(),
+        "a drained sweep must render nothing (the resume renders it all): {}",
+        stdout(&out)
+    );
+    assert!(stderr(&out).contains("drained"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--resume"), "{}", stderr(&out));
+
+    let resumed = run(&as_strs(&with_journal(SLOW, &journal, &["--resume"])), "2");
+    assert!(
+        resumed.status.success(),
+        "resume after drain failed: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&clean),
+        "drain-then-resume is not byte-identical to the uninterrupted run"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn second_signal_kills_hung_isolated_cell_and_resume_recovers() {
+    let dir = scratch("drain-escalation");
+    let journal = dir.join("sweep.gcj");
+
+    let clean = run(SLOW, "2");
+    assert!(clean.status.success());
+
+    // Cell 0 hangs forever inside its worker: without escalation this
+    // sweep can never finish, so the signal timing cannot race it. The
+    // chaos env set on the parent is inherited by the re-exec'd workers.
+    let isolate = with_flags(SLOW, &["--isolate"]);
+    let args = with_journal(&as_strs(&isolate), &journal, &[]);
+    let mut cmd = grococa(&as_strs(&args), "2");
+    cmd.env(grococa_cli::worker::CHAOS_HANG_ENV, "0");
+    let mut child = cmd.spawn().expect("spawn sweep");
+    if !wait_for_journal_growth(&mut child, &journal, 2) {
+        panic!("sweep with a hung cell exited on its own");
+    }
+    send_signal(child.id(), "TERM");
+    std::thread::sleep(Duration::from_millis(300));
+    send_signal(child.id(), "TERM");
+    let out = child.wait_with_output().expect("collect escalated sweep");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "escalated drain must still exit drained (4); stderr: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("drained"), "{}", stderr(&out));
+
+    // The hung cell was journaled as a failure, not a result: resuming
+    // without the chaos hook re-runs it and completes the grid exactly.
+    let resumed = run(&as_strs(&with_journal(SLOW, &journal, &["--resume"])), "2");
+    assert!(
+        resumed.status.success(),
+        "resume after escalation failed: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(stdout(&resumed), stdout(&clean));
+}
+
+// ---- injected journal disk faults ------------------------------------
+
+#[test]
+fn disk_full_with_keep_going_degrades_but_completes() {
+    let dir = scratch("disk-full-degrade");
+    let journal = dir.join("sweep.gcj");
+
+    let clean = run(SMALL, "2");
+    let args = with_journal(SMALL, &journal, &["--keep-going"]);
+    let mut cmd = grococa(&as_strs(&args), "2");
+    // Fail the first record append (and every later one) with ENOSPC.
+    cmd.env(grococa_cli::CHAOS_JOURNAL_ENV, "full:0:persist");
+    let out = cmd.output().expect("spawn grococa");
+    assert!(
+        out.status.success(),
+        "--keep-going must ride out disk faults; stderr: {}",
+        stderr(&out)
+    );
+    assert_eq!(
+        stdout(&out),
+        stdout(&clean),
+        "degraded sweep changed result bytes"
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("journal") && (err.contains("disk full") || err.contains("un-journaled")),
+        "degrade must warn loudly: {err}"
+    );
+}
+
+#[test]
+fn disk_full_without_keep_going_aborts_with_exit_one() {
+    let dir = scratch("disk-full-abort");
+    let journal = dir.join("sweep.gcj");
+
+    let args = with_journal(SMALL, &journal, &[]);
+    let mut cmd = grococa(&as_strs(&args), "2");
+    cmd.env(grococa_cli::CHAOS_JOURNAL_ENV, "full:0:persist");
+    let out = cmd.output().expect("spawn grococa");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "journal disk fault without --keep-going must abort; stderr: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("disk full"), "{}", stderr(&out));
+}
+
+#[test]
+fn short_write_fault_rolls_back_and_journal_stays_resumable() {
+    let dir = scratch("short-write");
+    let journal = dir.join("sweep.gcj");
+
+    let clean = run(SMALL, "2");
+    let args = with_journal(SMALL, &journal, &["--keep-going"]);
+    let mut cmd = grococa(&as_strs(&args), "2");
+    // One torn append mid-journal; the writer must roll the partial
+    // record back so the on-disk prefix stays exactly parseable.
+    cmd.env(grococa_cli::CHAOS_JOURNAL_ENV, "short:2");
+    let out = cmd.output().expect("spawn grococa");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out), stdout(&clean));
+
+    // The rolled-back journal resumes cleanly (re-running whatever was
+    // never journaled) to the same bytes, with no corruption warning.
+    let resumed = run(&as_strs(&with_journal(SMALL, &journal, &["--resume"])), "2");
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(stdout(&resumed), stdout(&clean));
+    assert!(
+        !stderr(&resumed).contains("damaged"),
+        "rollback left a torn record behind: {}",
+        stderr(&resumed)
     );
 }

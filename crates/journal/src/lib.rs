@@ -43,6 +43,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// The 8-byte magic prefix of every journal file (versioned: a future
 /// incompatible format bumps the trailing digit).
@@ -114,6 +115,8 @@ pub enum JournalError {
         /// The fingerprint of the sweep attempting to resume.
         expected: Fingerprint,
     },
+    /// An append failed with a classified disk fault.
+    Append(AppendError),
 }
 
 impl fmt::Display for JournalError {
@@ -138,6 +141,7 @@ impl fmt::Display for JournalError {
                 expected.cells,
                 expected.version
             ),
+            JournalError::Append(e) => write!(f, "{e}"),
         }
     }
 }
@@ -146,6 +150,87 @@ impl std::error::Error for JournalError {}
 
 fn io_err(e: std::io::Error) -> JournalError {
     JournalError::Io(e.to_string())
+}
+
+/// The classified failure of one journal append — the typed taxonomy the
+/// sweep harness uses to decide between aborting the sweep and degrading
+/// to un-journaled execution (`--keep-going`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendError {
+    /// The filesystem is out of space (ENOSPC, or quota exhausted). The
+    /// append was rolled back; the journal prefix on disk stays clean.
+    DiskFull(String),
+    /// The record write failed for any other reason (EIO, short write,
+    /// revoked handle). The append was rolled back.
+    WriteFailed(String),
+    /// The record bytes were written but could not be made durable
+    /// (fsync failed); the record was rolled back rather than left in a
+    /// may-or-may-not-survive-a-crash limbo.
+    SyncFailed(String),
+    /// The append failed **and** truncating the file back to the last
+    /// clean record also failed, so the on-disk tail may be torn. The
+    /// journal is now wedged and refuses further appends; the prefix up
+    /// to the last clean record is still readable on resume (the scanner
+    /// discards the torn tail).
+    RollbackFailed(String),
+    /// Append refused without touching the file: an earlier rollback
+    /// failure wedged this journal.
+    Wedged,
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::DiskFull(e) => write!(f, "journal append: disk full ({e})"),
+            AppendError::WriteFailed(e) => write!(f, "journal append: write failed ({e})"),
+            AppendError::SyncFailed(e) => write!(f, "journal append: fsync failed ({e})"),
+            AppendError::RollbackFailed(e) => {
+                write!(
+                    f,
+                    "journal append failed and rollback failed ({e}); journal is wedged"
+                )
+            }
+            AppendError::Wedged => {
+                write!(
+                    f,
+                    "journal is wedged by an earlier rollback failure; append refused"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+impl From<AppendError> for JournalError {
+    fn from(e: AppendError) -> Self {
+        JournalError::Append(e)
+    }
+}
+
+/// Whether an I/O error means the disk (or quota) is out of space.
+fn is_disk_full(e: &std::io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(28) | Some(122))
+        || matches!(
+            e.kind(),
+            std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded
+        )
+}
+
+fn classify_write(e: std::io::Error) -> AppendError {
+    if is_disk_full(&e) {
+        AppendError::DiskFull(e.to_string())
+    } else {
+        AppendError::WriteFailed(e.to_string())
+    }
+}
+
+fn classify_sync(e: std::io::Error) -> AppendError {
+    if is_disk_full(&e) {
+        AppendError::DiskFull(e.to_string())
+    } else {
+        AppendError::SyncFailed(e.to_string())
+    }
 }
 
 /// Encodes a header for `fp` (magic through header checksum).
@@ -266,11 +351,334 @@ pub fn scan_records(bytes: &[u8]) -> Scan {
     }
 }
 
+/// The pure recovery computation behind [`Journal::open_or_create`]:
+/// what an existing journal byte-image yields on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the clean prefix (header + intact records) — the valid
+    /// truncation point for further appends.
+    pub keep: usize,
+    /// Why a damaged tail past `keep` was discarded, if one exists.
+    pub damage: Option<String>,
+}
+
+/// Validates `bytes` as a journal for `fp` and scans its records. Pure
+/// and total over arbitrary input: property tests drive this directly
+/// against in-memory backends, and [`Journal::open_or_create`] is a thin
+/// filesystem shell around it.
+///
+/// # Errors
+///
+/// [`JournalError::NotAJournal`] when the header is unreadable,
+/// [`JournalError::FingerprintMismatch`] when it belongs to a different
+/// sweep.
+pub fn recover(bytes: &[u8], fp: &Fingerprint) -> Result<Recovery, JournalError> {
+    let (found, header_len) = decode_header(bytes).map_err(JournalError::NotAJournal)?;
+    if found != *fp {
+        return Err(JournalError::FingerprintMismatch {
+            found,
+            expected: fp.clone(),
+        });
+    }
+    let scan = scan_records(&bytes[header_len..]);
+    Ok(Recovery {
+        records: scan.records,
+        keep: header_len + scan.consumed,
+        damage: scan.damage,
+    })
+}
+
+/// The journal's storage seam: the three primitives every append needs.
+///
+/// Production uses [`FileBackend`]; tests swap in [`MemBackend`] (pure
+/// in-memory) or [`FaultyBackend`] (scripted fault injection at any
+/// append boundary) so every disk-fault path is exercised without
+/// needing a real full disk.
+pub trait Backend: fmt::Debug + Send {
+    /// Appends `bytes` at the current position (all-or-error semantics
+    /// are NOT guaranteed by the backend — the journal rolls back).
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Makes previously written bytes durable.
+    fn sync_data(&mut self) -> std::io::Result<()>;
+    /// Truncates the store to `len` bytes and repositions the append
+    /// cursor there.
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+/// The production backend: a real file, fsync'd per append.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+}
+
+impl Backend for FileBackend {
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        Ok(())
+    }
+}
+
+/// An in-memory backend over a shared buffer. Clones share the buffer,
+/// so a test can keep a [`MemBackend::handle`] while the journal owns
+/// the backend, and inspect the "disk" image at any point.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A second handle onto the same underlying buffer.
+    pub fn handle(&self) -> MemBackend {
+        self.clone()
+    }
+
+    /// A snapshot of the current store contents.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+impl Backend for MemBackend {
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// Which fault a [`FaultyBackend`] injects when its operation counter
+/// hits the scripted index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail with ENOSPC (raw OS error 28) without writing anything.
+    DiskFull,
+    /// Fail with an EIO-style error without writing anything.
+    Eio,
+    /// Write only the first half of the bytes, then fail — a torn
+    /// record, the worst case for the on-disk format.
+    ShortWrite,
+    /// Let writes through; fail the durability sync instead.
+    SyncFail,
+}
+
+impl FaultMode {
+    fn error(self) -> std::io::Error {
+        match self {
+            FaultMode::DiskFull => std::io::Error::from_raw_os_error(28),
+            FaultMode::Eio => std::io::Error::other("injected EIO"),
+            FaultMode::ShortWrite => std::io::Error::other("injected short write"),
+            FaultMode::SyncFail => std::io::Error::other("injected fsync failure"),
+        }
+    }
+}
+
+/// A scripted fault: which I/O operation fails (writes and syncs share
+/// one counter, starting at 0) and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultScript {
+    /// The 0-based operation index at which to inject.
+    pub fail_op: u64,
+    /// The failure to inject.
+    pub mode: FaultMode,
+    /// When true, every operation from `fail_op` on fails (a disk that
+    /// stays full); when false, only the one operation fails.
+    pub persist: bool,
+    /// When true, rollback truncation also fails — forcing the journal
+    /// into its wedged state.
+    pub fail_rollback: bool,
+}
+
+impl FaultScript {
+    /// Parses the `GROCOCA_CHAOS_JOURNAL` spec `<mode>:<op>[:persist]`
+    /// where mode is `full`, `eio`, `short` or `sync`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(spec: &str) -> Result<FaultScript, String> {
+        let mut parts = spec.split(':');
+        let mode = match parts.next().unwrap_or("") {
+            "full" => FaultMode::DiskFull,
+            "eio" => FaultMode::Eio,
+            "short" => FaultMode::ShortWrite,
+            "sync" => FaultMode::SyncFail,
+            other => {
+                return Err(format!(
+                    "unknown fault mode {other:?} (full|eio|short|sync)"
+                ))
+            }
+        };
+        let fail_op = parts
+            .next()
+            .ok_or("missing operation index (expected <mode>:<op>[:persist])")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad operation index: {e}"))?;
+        let persist = match parts.next() {
+            None => false,
+            Some("persist") => true,
+            Some(other) => return Err(format!("unknown trailing field {other:?}")),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("unexpected trailing field {extra:?}"));
+        }
+        Ok(FaultScript {
+            fail_op,
+            mode,
+            persist,
+            fail_rollback: false,
+        })
+    }
+}
+
+/// A backend that injects one scripted fault into an inner backend —
+/// the chaos seam for proving every append boundary degrades cleanly.
+#[derive(Debug)]
+pub struct FaultyBackend {
+    inner: Box<dyn Backend>,
+    script: FaultScript,
+    ops: u64,
+}
+
+impl FaultyBackend {
+    /// Wraps `inner`, injecting per `script`.
+    pub fn new(inner: Box<dyn Backend>, script: FaultScript) -> Self {
+        FaultyBackend {
+            inner,
+            script,
+            ops: 0,
+        }
+    }
+
+    fn due(&mut self) -> bool {
+        let op = self.ops;
+        self.ops += 1;
+        op == self.script.fail_op || (self.script.persist && op > self.script.fail_op)
+    }
+}
+
+impl Backend for FaultyBackend {
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if self.due() {
+            match self.script.mode {
+                FaultMode::SyncFail => self.inner.write_all_bytes(bytes),
+                FaultMode::ShortWrite => {
+                    self.inner.write_all_bytes(&bytes[..bytes.len() / 2])?;
+                    Err(self.script.mode.error())
+                }
+                mode => Err(mode.error()),
+            }
+        } else {
+            self.inner.write_all_bytes(bytes)
+        }
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        if self.due() && self.script.mode != FaultMode::ShortWrite {
+            Err(self.script.mode.error())
+        } else {
+            self.inner.sync_data()
+        }
+    }
+
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        if self.script.fail_rollback {
+            Err(std::io::Error::other("injected rollback failure"))
+        } else {
+            self.inner.truncate_to(len)
+        }
+    }
+}
+
+/// The placeholder swapped in during [`Journal::wrap_backend`]; never
+/// performs I/O.
+#[derive(Debug)]
+struct NullBackend;
+
+impl Backend for NullBackend {
+    fn write_all_bytes(&mut self, _bytes: &[u8]) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate_to(&mut self, _len: u64) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Checks that the filesystem holding `path` can absorb roughly
+/// `estimated_bytes` more journal data, by writing, syncing and deleting
+/// a probe file of that size next to the journal. Advisory: a disk can
+/// still fill later, but this catches the "started a six-hour sweep on a
+/// full disk" case before any cell runs.
+///
+/// # Errors
+///
+/// The classified [`AppendError`] the probe write hit.
+pub fn preflight_space(path: &Path, estimated_bytes: u64) -> Result<(), AppendError> {
+    let probe_path = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".preflight");
+        PathBuf::from(os)
+    };
+    let result = (|| {
+        let mut probe = File::create(&probe_path).map_err(classify_write)?;
+        let chunk = vec![0u8; 64 * 1024];
+        let mut left = estimated_bytes;
+        while left > 0 {
+            let take = left.min(chunk.len() as u64) as usize;
+            probe.write_all(&chunk[..take]).map_err(classify_write)?;
+            left -= take as u64;
+        }
+        probe.sync_data().map_err(classify_sync)
+    })();
+    std::fs::remove_file(&probe_path).ok();
+    result
+}
+
 /// An open journal positioned for appending.
 #[derive(Debug)]
 pub struct Journal {
-    file: File,
+    backend: Box<dyn Backend>,
     path: PathBuf,
+    /// Length of the clean prefix: header plus every fully-appended,
+    /// fully-synced record. The rollback target after a failed append.
+    clean_len: u64,
+    /// Set when a rollback failed: the tail past `clean_len` may be torn
+    /// and further appends are refused.
+    wedged: bool,
 }
 
 /// What [`Journal::open_or_create`] found on disk.
@@ -293,19 +701,69 @@ impl Journal {
     /// Returns [`JournalError::Io`] if the file cannot be created or
     /// written.
     pub fn create(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)
             .map_err(io_err)?;
-        file.write_all(&encode_header(fp)).map_err(io_err)?;
-        file.sync_all().map_err(io_err)?;
+        let journal = Journal::with_backend(Box::new(FileBackend { file }), path, fp)?;
+        Ok(journal)
+    }
+
+    /// Creates a fresh journal over an arbitrary [`Backend`] (writes and
+    /// syncs the header for `fp`). `path` is a diagnostic label only —
+    /// no filesystem I/O happens outside the backend.
+    ///
+    /// # Errors
+    ///
+    /// The classified [`AppendError`] if the header cannot be written.
+    pub fn with_backend(
+        mut backend: Box<dyn Backend>,
+        path: &Path,
+        fp: &Fingerprint,
+    ) -> Result<Journal, AppendError> {
+        let header = encode_header(fp);
+        backend.write_all_bytes(&header).map_err(classify_write)?;
+        backend.sync_data().map_err(classify_sync)?;
         Ok(Journal {
-            file,
+            backend,
             path: path.to_path_buf(),
+            clean_len: header.len() as u64,
+            wedged: false,
         })
+    }
+
+    /// Resumes a journal over an arbitrary [`Backend`] whose store
+    /// already holds a clean prefix of `keep` bytes (as computed by
+    /// [`recover`]): the store is truncated back to `keep` and appends
+    /// continue from there.
+    ///
+    /// # Errors
+    ///
+    /// The classified [`AppendError`] if the truncation fails.
+    pub fn resume_with_backend(
+        mut backend: Box<dyn Backend>,
+        path: &Path,
+        keep: u64,
+    ) -> Result<Journal, AppendError> {
+        backend
+            .truncate_to(keep)
+            .map_err(|e| AppendError::WriteFailed(e.to_string()))?;
+        Ok(Journal {
+            backend,
+            path: path.to_path_buf(),
+            clean_len: keep,
+            wedged: false,
+        })
+    }
+
+    /// Replaces this journal's backend with `wrap(old_backend)` — the
+    /// injection point for [`FaultyBackend`] chaos over a real file.
+    pub fn wrap_backend(&mut self, wrap: impl FnOnce(Box<dyn Backend>) -> Box<dyn Backend>) {
+        let inner = std::mem::replace(&mut self.backend, Box::new(NullBackend));
+        self.backend = wrap(inner);
     }
 
     /// Opens the journal at `path` for resuming, or creates a fresh one if
@@ -334,21 +792,13 @@ impl Journal {
                 warning: None,
             });
         }
-        let (found, header_len) = decode_header(&bytes).map_err(JournalError::NotAJournal)?;
-        if found != *fp {
-            return Err(JournalError::FingerprintMismatch {
-                found,
-                expected: fp.clone(),
-            });
-        }
-        let scan = scan_records(&bytes[header_len..]);
-        let keep = header_len + scan.consumed;
-        let warning = scan.damage.map(|why| {
+        let recovery = recover(&bytes, fp)?;
+        let warning = recovery.damage.map(|why| {
             format!(
                 "journal {}: discarding {} damaged byte(s) past record {} ({why})",
                 path.display(),
-                bytes.len() - keep,
-                scan.records.len(),
+                bytes.len() - recovery.keep,
+                recovery.records.len(),
             )
         });
         let mut file = OpenOptions::new()
@@ -357,16 +807,19 @@ impl Journal {
             .open(path)
             .map_err(io_err)?;
         if warning.is_some() {
-            file.set_len(keep as u64).map_err(io_err)?;
+            file.set_len(recovery.keep as u64).map_err(io_err)?;
             file.sync_all().map_err(io_err)?;
         }
-        file.seek(SeekFrom::Start(keep as u64)).map_err(io_err)?;
+        file.seek(SeekFrom::Start(recovery.keep as u64))
+            .map_err(io_err)?;
         Ok(Recovered {
             journal: Journal {
-                file,
+                backend: Box::new(FileBackend { file }),
                 path: path.to_path_buf(),
+                clean_len: recovery.keep as u64,
+                wedged: false,
             },
-            records: scan.records,
+            records: recovery.records,
             warning,
         })
     }
@@ -374,14 +827,50 @@ impl Journal {
     /// Appends one record and fsyncs before returning: once `append` is
     /// back, the record survives a kill or power cut.
     ///
+    /// On failure the file is rolled back to the last clean record, so a
+    /// torn write never pollutes the readable prefix; if the rollback
+    /// itself fails the journal **wedges** (refuses further appends —
+    /// the scanner still recovers the clean prefix on resume).
+    ///
     /// # Errors
     ///
-    /// Returns [`JournalError::Io`] if the write or sync fails.
-    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
-        self.file
-            .write_all(&encode_record(payload))
-            .map_err(io_err)?;
-        self.file.sync_data().map_err(io_err)
+    /// The classified [`AppendError`]: disk-full, write, sync, rollback
+    /// failure, or a refusal because the journal is already wedged.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), AppendError> {
+        if self.wedged {
+            return Err(AppendError::Wedged);
+        }
+        let bytes = encode_record(payload);
+        let outcome = self
+            .backend
+            .write_all_bytes(&bytes)
+            .map_err(classify_write)
+            .and_then(|()| self.backend.sync_data().map_err(classify_sync));
+        match outcome {
+            Ok(()) => {
+                self.clean_len += bytes.len() as u64;
+                Ok(())
+            }
+            Err(failure) => {
+                if let Err(rollback) = self.backend.truncate_to(self.clean_len) {
+                    self.wedged = true;
+                    return Err(AppendError::RollbackFailed(format!(
+                        "{failure}; then truncate to {}: {rollback}",
+                        self.clean_len
+                    )));
+                }
+                // Best-effort durability for the truncation itself; the
+                // scanner tolerates a tail that reappears after a crash.
+                self.backend.sync_data().ok();
+                Err(failure)
+            }
+        }
+    }
+
+    /// Whether a failed rollback has wedged this journal (appends are
+    /// refused; the on-disk clean prefix remains valid for resume).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
     }
 
     /// The journal's path (for diagnostics).
@@ -552,5 +1041,223 @@ mod tests {
         assert!(rec.records.is_empty());
         assert!(rec.warning.is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_backend_round_trips_through_recover() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"one").expect("append");
+        j.append(b"two").expect("append");
+        let rec = recover(&handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(rec.damage.is_none());
+        assert_eq!(rec.keep, handle.contents().len());
+    }
+
+    #[test]
+    fn disk_full_append_is_classified_and_rolled_back() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"survivor").expect("append");
+        let before = handle.contents();
+        // Ops so far: header write, header sync, record write, record
+        // sync. The next write is op 4.
+        j.wrap_backend(|inner| {
+            Box::new(FaultyBackend::new(
+                inner,
+                FaultScript {
+                    fail_op: 0,
+                    mode: FaultMode::DiskFull,
+                    persist: false,
+                    fail_rollback: false,
+                },
+            ))
+        });
+        let err = j.append(b"doomed").expect_err("disk full");
+        assert!(matches!(err, AppendError::DiskFull(_)), "{err}");
+        assert_eq!(
+            handle.contents(),
+            before,
+            "rollback must restore the prefix"
+        );
+        assert!(!j.is_wedged());
+        // The disk "recovers" (one-shot fault): the journal keeps working.
+        j.append(b"after").expect("append succeeds again");
+        let rec = recover(&handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.records, vec![b"survivor".to_vec(), b"after".to_vec()]);
+    }
+
+    #[test]
+    fn short_write_tail_is_rolled_back() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"keep").expect("append");
+        let before = handle.contents();
+        j.wrap_backend(|inner| {
+            Box::new(FaultyBackend::new(
+                inner,
+                FaultScript {
+                    fail_op: 0,
+                    mode: FaultMode::ShortWrite,
+                    persist: false,
+                    fail_rollback: false,
+                },
+            ))
+        });
+        let err = j.append(b"torn-record-payload").expect_err("short write");
+        assert!(matches!(err, AppendError::WriteFailed(_)), "{err}");
+        assert_eq!(
+            handle.contents(),
+            before,
+            "torn bytes must be truncated away"
+        );
+    }
+
+    #[test]
+    fn sync_failure_is_classified_and_rolled_back() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        let before = handle.contents();
+        j.wrap_backend(|inner| {
+            Box::new(FaultyBackend::new(
+                inner,
+                FaultScript {
+                    // Op 0 is the record write (passes), op 1 the sync.
+                    fail_op: 1,
+                    mode: FaultMode::SyncFail,
+                    persist: false,
+                    fail_rollback: false,
+                },
+            ))
+        });
+        let err = j.append(b"unsynced").expect_err("sync fails");
+        assert!(matches!(err, AppendError::SyncFailed(_)), "{err}");
+        assert_eq!(handle.contents(), before, "unsynced record must not linger");
+    }
+
+    #[test]
+    fn failed_rollback_wedges_the_journal() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"clean").expect("append");
+        j.wrap_backend(|inner| {
+            Box::new(FaultyBackend::new(
+                inner,
+                FaultScript {
+                    fail_op: 0,
+                    mode: FaultMode::ShortWrite,
+                    persist: false,
+                    fail_rollback: true,
+                },
+            ))
+        });
+        let err = j.append(b"doomed").expect_err("append fails");
+        assert!(matches!(err, AppendError::RollbackFailed(_)), "{err}");
+        assert!(j.is_wedged());
+        assert_eq!(j.append(b"refused"), Err(AppendError::Wedged));
+        // The torn tail stayed on "disk", but the scanner still recovers
+        // the clean prefix.
+        let rec = recover(&handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.records, vec![b"clean".to_vec()]);
+        assert!(rec.damage.is_some(), "torn tail is reported as damage");
+    }
+
+    #[test]
+    fn fault_script_parses_the_chaos_spec() {
+        assert_eq!(
+            FaultScript::parse("full:4"),
+            Ok(FaultScript {
+                fail_op: 4,
+                mode: FaultMode::DiskFull,
+                persist: false,
+                fail_rollback: false,
+            })
+        );
+        assert_eq!(
+            FaultScript::parse("short:0:persist").map(|s| (s.mode, s.persist)),
+            Ok((FaultMode::ShortWrite, true))
+        );
+        for bad in [
+            "",
+            "bogus:1",
+            "full",
+            "full:x",
+            "full:1:zzz",
+            "eio:1:persist:extra",
+        ] {
+            assert!(FaultScript::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn persistent_disk_full_keeps_failing_but_prefix_survives() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"pre-outage").expect("append");
+        j.wrap_backend(|inner| {
+            Box::new(FaultyBackend::new(
+                inner,
+                FaultScript {
+                    fail_op: 0,
+                    mode: FaultMode::DiskFull,
+                    persist: true,
+                    fail_rollback: false,
+                },
+            ))
+        });
+        for _ in 0..3 {
+            let err = j.append(b"never-lands").expect_err("stays full");
+            assert!(matches!(err, AppendError::DiskFull(_)), "{err}");
+        }
+        let rec = recover(&handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.records, vec![b"pre-outage".to_vec()]);
+        assert!(rec.damage.is_none());
+    }
+
+    #[test]
+    fn preflight_passes_on_a_healthy_disk_and_cleans_up() {
+        let path = temp_path("preflight.gcj");
+        preflight_space(&path, 256 * 1024).expect("healthy disk");
+        let mut probe = path.as_os_str().to_os_string();
+        probe.push(".preflight");
+        assert!(!Path::new(&probe).exists(), "probe file must be deleted");
+    }
+
+    #[test]
+    fn resume_with_backend_continues_from_the_clean_prefix() {
+        let mem = MemBackend::new();
+        let handle = mem.handle();
+        let mut j =
+            Journal::with_backend(Box::new(mem), Path::new("mem.gcj"), &fp()).expect("create");
+        j.append(b"a").expect("append");
+        drop(j);
+        // Simulate a torn tail the scanner will discard.
+        let mut image = handle.contents();
+        let keep = image.len() as u64;
+        image.extend_from_slice(&[0x7F; 5]);
+        let dirty = MemBackend::new();
+        dirty.buf.lock().unwrap().extend_from_slice(&image);
+        let dirty_handle = dirty.handle();
+        let rec = recover(&dirty_handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.keep as u64, keep);
+        let mut resumed = Journal::resume_with_backend(Box::new(dirty), Path::new("mem.gcj"), keep)
+            .expect("resume");
+        resumed.append(b"b").expect("append");
+        let rec = recover(&dirty_handle.contents(), &fp()).expect("recovers");
+        assert_eq!(rec.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(rec.damage.is_none());
     }
 }

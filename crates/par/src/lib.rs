@@ -25,10 +25,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Best-effort extraction of a panic payload's message.
-fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+/// Best-effort extraction of a panic payload's message (the `&str` or
+/// `String` carried by `panic!`/`assert!`). Non-string payloads yield a
+/// placeholder, never a panic.
+pub fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
         .downcast_ref::<&str>()
         .copied()
@@ -47,6 +50,37 @@ fn run_job<I, O>(f: &impl Fn(&I) -> O, input: &I, idx: usize) -> O {
 
 /// The environment variable selecting the degree of parallelism.
 pub const JOBS_ENV: &str = "GROCOCA_JOBS";
+
+/// The environment variable silencing every harness warning. Any
+/// non-empty value other than `0` suppresses [`warn_once`] output so
+/// test harnesses that assert on stderr stay clean.
+pub const QUIET_ENV: &str = "GROCOCA_QUIET";
+
+/// Whether [`QUIET_ENV`] asks for silence.
+pub fn quiet() -> bool {
+    std::env::var(QUIET_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    })
+}
+
+/// Prints `warning: {message}` to stderr **once per process per `key`**,
+/// unless [`QUIET_ENV`] is set. Every harness-side warning (unparsable
+/// `GROCOCA_JOBS`, journal truncation, journaling degradation) routes
+/// through here so repeated work never spams and tests can opt out
+/// wholesale.
+pub fn warn_once(key: &str, message: &str) {
+    static EMITTED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    if quiet() {
+        return;
+    }
+    let mut emitted = EMITTED.lock().unwrap_or_else(|p| p.into_inner());
+    if emitted.iter().any(|k| k == key) {
+        return;
+    }
+    emitted.push(key.to_string());
+    eprintln!("warning: {message}");
+}
 
 /// A malformed `GROCOCA_JOBS` value: set, but not a positive integer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,8 +144,9 @@ pub fn try_jobs_from_env() -> Result<usize, JobsEnvError> {
 /// The worker count selected by `GROCOCA_JOBS`, defaulting to the number of
 /// available cores (minimum 1). Zero or unparsable values fall back to the
 /// default — but loudly: the first such fallback per process prints a
-/// warning to stderr naming the offending value, so typos don't silently
-/// change the degree of parallelism.
+/// [`warn_once`] warning naming the offending value (silenced by
+/// [`QUIET_ENV`]), so typos don't silently change the degree of
+/// parallelism.
 ///
 /// # Examples
 ///
@@ -122,10 +157,10 @@ pub fn jobs_from_env() -> usize {
     match try_jobs_from_env() {
         Ok(n) => n,
         Err(e) => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!("warning: {e}; falling back to {} worker(s)", default_jobs());
-            });
+            warn_once(
+                "jobs-env",
+                &format!("{e}; falling back to {} worker(s)", default_jobs()),
+            );
             default_jobs()
         }
     }
@@ -230,38 +265,98 @@ where
     run_indexed(inputs, jobs_from_env(), f)
 }
 
+/// Why a quarantined job failed — the enforced classification that the
+/// sweep harness renders, journals and maps to operator-facing reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked (thread mode), or an isolated worker process
+    /// died or broke the cell protocol.
+    Panic,
+    /// The job overran its wall-clock deadline. Advisory in thread mode
+    /// (measured after a panicking attempt returns); a hard `kill()` in
+    /// process-isolated mode.
+    Deadline,
+    /// The job exceeded its RSS ceiling (process-isolated mode only).
+    MemLimit,
+    /// The job was killed by drain escalation: a second shutdown signal
+    /// arrived while it was in flight.
+    DrainKilled,
+}
+
+impl FailureKind {
+    /// Short operator-facing label (`panic`, `deadline`, `oom`,
+    /// `drain-kill`) used in FAILED rows and summary lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadline => "deadline",
+            FailureKind::MemLimit => "oom",
+            FailureKind::DrainKilled => "drain-kill",
+        }
+    }
+}
+
 /// Why one supervised job was quarantined instead of returning a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobFailure {
     /// The failing job's input index.
     pub index: usize,
-    /// Panic text of the final attempt.
-    pub panic_text: String,
-    /// How many attempts were made (1 + retries).
+    /// Human-readable failure text of the final attempt (panic message,
+    /// or a description of the enforced kill).
+    pub message: String,
+    /// How many attempts were actually made (≤ 1 + retries; a drain can
+    /// cut the retry budget short).
     pub attempts: u32,
-    /// Whether any attempt overran the configured watchdog deadline. The
-    /// watchdog is advisory — it measures each attempt on the monotonic
-    /// clock after the fact and cannot preempt a running job — but it
-    /// distinguishes "panicked instantly" from "ground for minutes, then
-    /// died" in the failure record.
-    pub exceeded_deadline: bool,
+    /// The enforced classification of the final attempt's failure.
+    pub kind: FailureKind,
 }
 
 impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job {} failed after {} attempt(s): {}{}",
-            self.index,
-            self.attempts,
-            self.panic_text,
-            if self.exceeded_deadline {
-                " (exceeded watchdog deadline)"
-            } else {
-                ""
-            }
-        )
+            "job {} failed after {} attempt(s)",
+            self.index, self.attempts
+        )?;
+        if self.kind != FailureKind::Panic {
+            write!(f, " [{}]", self.kind.label())?;
+        }
+        write!(f, ": {}", self.message)
     }
+}
+
+/// One failed attempt, as classified by the attempt runner: the kind
+/// plus a human-readable message. The building block of
+/// [`run_attempts`]; the retry loop turns the final one into a
+/// [`JobFailure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// The enforced failure classification.
+    pub kind: FailureKind,
+    /// Human-readable failure text.
+    pub message: String,
+}
+
+impl AttemptFailure {
+    /// A panic-kind failure with this message.
+    pub fn panic(message: impl Into<String>) -> Self {
+        AttemptFailure {
+            kind: FailureKind::Panic,
+            message: message.into(),
+        }
+    }
+}
+
+/// The outcome of one supervised slot under [`run_attempts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot<O> {
+    /// The job completed with this output.
+    Done(O),
+    /// The job failed past its retry budget and was quarantined.
+    Failed(JobFailure),
+    /// The job was never attempted: the drain check reported true before
+    /// the job was claimed. Only possible when a drain check is given.
+    Skipped,
 }
 
 /// Tuning for [`run_supervised`]: pool width, bounded retry, watchdog.
@@ -274,8 +369,11 @@ pub struct SuperviseOptions {
     /// against harness-transient failures (allocation pressure, injected
     /// chaos), never against a deterministic bug; keep the bound small.
     pub max_retries: u32,
-    /// Per-attempt watchdog deadline on the monotonic clock; attempts
-    /// running past it set [`JobFailure::exceeded_deadline`].
+    /// Per-attempt watchdog deadline on the monotonic clock; failing
+    /// attempts that ran past it are classified
+    /// [`FailureKind::Deadline`]. Advisory in thread mode (it cannot
+    /// preempt a healthy job); the CLI's process-isolation mode turns it
+    /// into a hard kill.
     pub deadline: Option<Duration>,
 }
 
@@ -290,34 +388,125 @@ impl SuperviseOptions {
     }
 }
 
-/// Runs one supervised job: bounded retry around `catch_unwind`, each
-/// attempt timed on the monotonic clock for the watchdog flag.
-fn supervise_job<I, O>(
-    f: &impl Fn(&I) -> O,
+/// A drain predicate: `true` asks workers to stop claiming new jobs
+/// (in-flight jobs finish; unclaimed slots come back [`Slot::Skipped`]).
+pub type DrainCheck<'a> = &'a (dyn Fn() -> bool + Sync);
+
+/// Runs one supervised job through the pluggable attempt runner:
+/// bounded retry, drain-aware (a drain mid-budget stops further
+/// retries — an in-flight cell finishes, it doesn't get fresh starts).
+fn attempt_with_retry<I, O>(
+    attempt: &impl Fn(&I, usize) -> Result<O, AttemptFailure>,
     input: &I,
     index: usize,
     opts: &SuperviseOptions,
+    draining: &impl Fn() -> bool,
 ) -> Result<O, JobFailure> {
-    let attempts = opts.max_retries.saturating_add(1);
-    let mut exceeded_deadline = false;
-    let mut panic_text = String::new();
-    for _ in 0..attempts {
-        let started = Instant::now(); // tidy:allow(wall-clock): harness watchdog; never feeds back into the sim
-        let outcome = catch_unwind(AssertUnwindSafe(|| f(input)));
-        if opts.deadline.is_some_and(|d| started.elapsed() > d) {
-            exceeded_deadline = true;
+    let budget = opts.max_retries.saturating_add(1);
+    let mut made = 0u32;
+    let mut last: Option<AttemptFailure> = None;
+    while made < budget {
+        if made > 0 && draining() {
+            break;
         }
-        match outcome {
+        made += 1;
+        match attempt(input, index) {
             Ok(out) => return Ok(out),
-            Err(payload) => panic_text = payload_text(payload.as_ref()).to_string(),
+            Err(failure) => last = Some(failure),
         }
     }
+    let failure = last.expect("retry budget is at least one attempt");
     Err(JobFailure {
         index,
-        panic_text,
-        attempts,
-        exceeded_deadline,
+        message: failure.message,
+        attempts: made,
+        kind: failure.kind,
     })
+}
+
+/// The generalised supervision engine: runs the pluggable `attempt`
+/// runner over every input on a pool of [`SuperviseOptions::jobs`]
+/// scoped threads, with bounded retry and an optional **drain check**.
+///
+/// This is the seam both execution modes share: thread-mode supervision
+/// ([`run_supervised`]) passes a `catch_unwind` attempt runner, and the
+/// CLI's process-isolation mode passes one that re-execs each cell as a
+/// child process and hard-kills it on deadline or memory-ceiling
+/// overrun. The engine itself never catches panics — the attempt runner
+/// must be total (return `Err`, not unwind).
+///
+/// When `drain` reports `true`, workers stop claiming new inputs;
+/// in-flight attempts finish and every unclaimed slot is returned as
+/// [`Slot::Skipped`]. Slots are returned **in input order** regardless
+/// of worker count.
+pub fn run_attempts<I, O, F>(
+    inputs: &[I],
+    opts: &SuperviseOptions,
+    drain: Option<DrainCheck<'_>>,
+    attempt: F,
+) -> Vec<Slot<O>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I, usize) -> Result<O, AttemptFailure> + Sync,
+{
+    let n = inputs.len();
+    let jobs = opts.jobs.max(1).min(n.max(1));
+    let draining = || drain.is_some_and(|check| check());
+    let mut slots: Vec<Slot<O>> = (0..n).map(|_| Slot::Skipped).collect();
+    if jobs <= 1 || n <= 1 {
+        for (idx, input) in inputs.iter().enumerate() {
+            if draining() {
+                break;
+            }
+            slots[idx] = match attempt_with_retry(&attempt, input, idx, opts, &draining) {
+                Ok(out) => Slot::Done(out),
+                Err(failure) => Slot::Failed(failure),
+            };
+        }
+        return slots;
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Slot<O>)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        if draining() {
+                            return local;
+                        }
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            return local;
+                        }
+                        let slot = match attempt_with_retry(
+                            &attempt,
+                            &inputs[idx],
+                            idx,
+                            opts,
+                            &draining,
+                        ) {
+                            Ok(out) => Slot::Done(out),
+                            Err(failure) => Slot::Failed(failure),
+                        };
+                        local.push((idx, slot));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle
+                .join()
+                .expect("attempt runners are total; workers never panic");
+            collected.extend(local);
+        }
+    });
+    for (idx, slot) in collected {
+        slots[idx] = slot;
+    }
+    slots
 }
 
 /// Runs `f` over every input like [`run_indexed`], but **quarantines**
@@ -353,41 +542,35 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let n = inputs.len();
-    let jobs = opts.jobs.max(1).min(n.max(1));
-    if jobs <= 1 || n <= 1 {
-        return inputs
-            .iter()
-            .enumerate()
-            .map(|(idx, input)| supervise_job(&f, input, idx, opts))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, Result<O, JobFailure>)> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n {
-                            return local;
-                        }
-                        local.push((idx, supervise_job(&f, &inputs[idx], idx, opts)));
-                    }
+    let slots = run_attempts(inputs, opts, None, |input, _idx| {
+        let started = Instant::now(); // tidy:allow(wall-clock): harness watchdog; never feeds back into the sim
+        match catch_unwind(AssertUnwindSafe(|| f(input))) {
+            Ok(out) => Ok(out),
+            Err(payload) => {
+                // The advisory watchdog cannot preempt a running job; it
+                // classifies a panicking attempt that also overran the
+                // deadline, distinguishing "panicked instantly" from
+                // "ground for minutes, then died".
+                let overran = opts.deadline.is_some_and(|d| started.elapsed() > d);
+                Err(AttemptFailure {
+                    kind: if overran {
+                        FailureKind::Deadline
+                    } else {
+                        FailureKind::Panic
+                    },
+                    message: payload_text(payload.as_ref()).to_string(),
                 })
-            })
-            .collect();
-        for handle in handles {
-            let local = handle
-                .join()
-                .expect("worker panics are caught inside supervise_job");
-            collected.extend(local);
+            }
         }
     });
-    collected.sort_by_key(|&(idx, _)| idx);
-    collected.into_iter().map(|(_, out)| out).collect()
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(out) => Ok(out),
+            Slot::Failed(failure) => Err(failure),
+            Slot::Skipped => unreachable!("no drain check was given"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -522,8 +705,8 @@ mod tests {
                 let fail = r.as_ref().expect_err("quarantined");
                 assert_eq!(fail.index, i);
                 assert_eq!(fail.attempts, 2);
-                assert!(fail.panic_text.contains(&format!("unlucky {i}")));
-                assert!(!fail.exceeded_deadline);
+                assert!(fail.message.contains(&format!("unlucky {i}")));
+                assert_eq!(fail.kind, FailureKind::Panic);
             } else {
                 assert_eq!(*r.as_ref().expect("completed"), i as u32 * 2);
             }
@@ -590,10 +773,92 @@ mod tests {
             }
             panic!("dies either way")
         });
-        assert!(!results[0].as_ref().unwrap_err().exceeded_deadline);
-        assert!(results[1].as_ref().unwrap_err().exceeded_deadline);
+        assert_eq!(results[0].as_ref().unwrap_err().kind, FailureKind::Panic);
+        assert_eq!(results[1].as_ref().unwrap_err().kind, FailureKind::Deadline);
         let shown = results[1].as_ref().unwrap_err().to_string();
-        assert!(shown.contains("watchdog deadline"), "got: {shown}");
+        assert!(shown.contains("[deadline]"), "got: {shown}");
+    }
+
+    #[test]
+    fn run_attempts_drain_skips_unclaimed_slots() {
+        // Drain flips after the third completion; remaining slots must
+        // come back Skipped, completed ones keep their outputs.
+        let done = AtomicU64::new(0);
+        let inputs: Vec<u32> = (0..32).collect();
+        let opts = SuperviseOptions {
+            jobs: 1,
+            max_retries: 0,
+            deadline: None,
+        };
+        let drain = || done.load(Ordering::Relaxed) >= 3;
+        let slots = run_attempts(&inputs, &opts, Some(&drain), |&x, _| {
+            done.fetch_add(1, Ordering::Relaxed);
+            Ok::<u32, AttemptFailure>(x * 2)
+        });
+        let completed = slots.iter().filter(|s| matches!(s, Slot::Done(_))).count();
+        let skipped = slots.iter().filter(|s| **s == Slot::Skipped).count();
+        assert_eq!(completed, 3);
+        assert_eq!(completed + skipped, 32);
+        assert_eq!(slots[0], Slot::Done(0));
+        assert_eq!(slots[31], Slot::Skipped);
+    }
+
+    #[test]
+    fn run_attempts_drain_cuts_retry_budget() {
+        // With the drain already asserted, a failing job gets exactly one
+        // attempt even with retries budgeted... but only if it was
+        // claimed before the drain; here the serial loop checks the drain
+        // first, so we assert the attempt-count path via a drain that
+        // flips after the first attempt.
+        let tried = AtomicU64::new(0);
+        let opts = SuperviseOptions {
+            jobs: 1,
+            max_retries: 5,
+            deadline: None,
+        };
+        let drain = || tried.load(Ordering::Relaxed) >= 1;
+        let slots = run_attempts(&[1u32], &opts, Some(&drain), |_, _| {
+            tried.fetch_add(1, Ordering::Relaxed);
+            Err::<u32, _>(AttemptFailure::panic("always"))
+        });
+        match &slots[0] {
+            Slot::Failed(fail) => {
+                assert_eq!(fail.attempts, 1, "drain must cut the retry budget");
+                assert_eq!(fail.kind, FailureKind::Panic);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attempt_kinds_survive_into_job_failures() {
+        let opts = SuperviseOptions {
+            jobs: 2,
+            max_retries: 0,
+            deadline: None,
+        };
+        let kinds = [
+            FailureKind::Panic,
+            FailureKind::Deadline,
+            FailureKind::MemLimit,
+            FailureKind::DrainKilled,
+        ];
+        let slots = run_attempts(&kinds, &opts, None, |&kind, _| {
+            Err::<u32, _>(AttemptFailure {
+                kind,
+                message: format!("kind {}", kind.label()),
+            })
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Slot::Failed(fail) => {
+                    assert_eq!(fail.kind, kinds[i]);
+                    assert_eq!(fail.index, i);
+                    assert!(fail.message.contains(kinds[i].label()));
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //! 3. **ambient-rng** — constructing RNGs outside `sim-core`'s seeded
 //!    substreams.
 //!
-//! Two hygiene rules ride along: **crate-hygiene** (crate roots must
+//! Three hygiene rules ride along: **crate-hygiene** (crate roots must
 //! forbid `unsafe_code` and warn on `missing_docs`; no `dbg!`-family
-//! macros outside tests) and **repo-hygiene** (golden files referenced
-//! by tests/CI exist; `CHANGES.md` keeps its one-line-per-PR shape).
+//! macros outside tests), **repo-hygiene** (golden files referenced
+//! by tests/CI exist; `CHANGES.md` keeps its one-line-per-PR shape),
+//! and **exit-discipline** (`std::process::exit` is banned outside
+//! `main.rs` — it skips destructors, including journal flushes, and
+//! scatters the exit-code taxonomy; bubble a status up and return an
+//! `ExitCode` instead).
 //!
 //! Modeled on rustc's `tidy`: dependency-free, line-oriented, and fast.
 //! A finding can be suppressed where it is justified:
@@ -83,6 +87,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "repo-hygiene",
         "referenced golden files must exist; CHANGES.md keeps one line per PR",
+    ),
+    (
+        "exit-discipline",
+        "bare std::process::exit is banned outside main.rs; return an ExitCode instead",
     ),
     (
         "suppression",
@@ -264,6 +272,9 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let wall_clock_exempt = krate.is_some_and(|c| WALL_CLOCK_EXEMPT_CRATES.contains(&c));
     let rng_home = rel_path == "crates/sim-core/src/rng.rs";
     let file_is_test = path_is_test(rel_path);
+    // `main.rs` owns process exit: everywhere else a status must travel
+    // up the call stack so destructors (journal flushes!) still run.
+    let is_main = rel_path.ends_with("/main.rs") || rel_path == "src/main.rs";
 
     // Pass 1: file-level suppressions (and their well-formedness). The
     // self-exempt linter sources mention directives in prose and tests,
@@ -376,6 +387,18 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     });
                 }
             }
+        }
+
+        if !is_main && !in_test && has_token(line, "process::exit") && !allowed("exit-discipline") {
+            findings.push(Finding {
+                rule: "exit-discipline",
+                path: rel_path.to_string(),
+                line: idx + 1,
+                message: "`process::exit` outside main.rs skips destructors (journal \
+                          flushes included) and hides the exit code; return a status \
+                          up to main or justify with tidy:allow"
+                    .to_string(),
+            });
         }
     }
 

@@ -147,6 +147,41 @@ fn crate_hygiene_allows_test_confined_macros() {
 }
 
 #[test]
+fn exit_discipline_flags_process_exit_outside_main() {
+    let f = scan_source(
+        "crates/cli/src/worker.rs",
+        &fixture("exit_discipline_violate.rs"),
+    );
+    assert_eq!(lines_of(&f, "exit-discipline"), [4, 9]);
+    assert_eq!(f.len(), 2, "only exit-discipline findings expected: {f:?}");
+}
+
+#[test]
+fn exit_discipline_exempts_main_and_tests() {
+    // The same calls are fine where exit is main's to own…
+    let f = scan_source(
+        "crates/cli/src/main.rs",
+        &fixture("exit_discipline_violate.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+    // …and in test collateral.
+    let f = scan_source(
+        "crates/cli/tests/sample.rs",
+        &fixture("exit_discipline_violate.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn exit_discipline_respects_suppression() {
+    let f = scan_source(
+        "crates/par/src/sample.rs",
+        &fixture("exit_discipline_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn unjustified_suppressions_are_rejected_and_do_not_suppress() {
     let f = scan_source(
         "crates/core/src/sample.rs",

@@ -1,0 +1,5 @@
+//! Suppressed sample: a justified immediate exit deep in a worker.
+
+fn abort_worker(code: i32) {
+    std::process::exit(code); // tidy:allow(exit-discipline): post-fork worker; unwinding into the parent's state would be worse
+}

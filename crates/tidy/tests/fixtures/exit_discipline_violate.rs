@@ -1,0 +1,10 @@
+//! Violating sample: library code terminating the process directly.
+
+fn bail(code: i32) {
+    std::process::exit(code);
+}
+
+fn bail_imported(code: i32) {
+    use std::process;
+    process::exit(code);
+}
