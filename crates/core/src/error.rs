@@ -1,0 +1,109 @@
+//! Typed internal-invariant errors for the event dispatcher.
+//!
+//! Every handler in [`crate::Simulation`] guards its entry with a
+//! generation/phase check before touching per-request state, so the
+//! state it then reads *must* exist on any correct execution. Those
+//! reads used to be `expect` calls; they are now surfaced as
+//! [`SimError`] values propagated out of
+//! [`crate::Simulation::try_run_inspect`], which keeps the invariant
+//! checkable without littering the hot path with panics. A `SimError`
+//! escaping the dispatcher always indicates a simulator bug, never a
+//! property of the modelled system.
+
+use std::fmt;
+
+/// A broken internal invariant detected during event dispatch.
+///
+/// Returned by [`crate::Simulation::try_run_inspect`]; the panicking
+/// wrappers [`crate::Simulation::run`] and
+/// [`crate::Simulation::run_inspect`] convert it into a panic at the
+/// public API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A handler's generation/phase guard passed, yet the host's
+    /// pending-request slot was empty when the handler went to use it.
+    MissingPending {
+        /// The host whose pending slot vanished.
+        mh: usize,
+        /// Which handler (and therefore which guard) tripped.
+        context: &'static str,
+    },
+    /// A request in the retrieving phase carried no provider target,
+    /// although entering that phase always records one.
+    MissingTarget {
+        /// The requesting host.
+        mh: usize,
+    },
+    /// A cache entry whose presence was established moments earlier is
+    /// gone again — nothing between the check and the use may evict.
+    MissingCacheEntry {
+        /// The host whose cache lost the entry.
+        mh: usize,
+        /// Which check had just established presence.
+        context: &'static str,
+    },
+    /// A cache that reported itself full produced no eviction victim.
+    NoVictim {
+        /// The host with the contradictory cache.
+        mh: usize,
+    },
+    /// GroCoca-only state was touched while another scheme was
+    /// configured; scheme checks gate every such path.
+    SchemeMismatch {
+        /// The GroCoca-only path that was reached.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingPending { mh, context } => {
+                write!(f, "host {mh}: pending request vanished ({context})")
+            }
+            SimError::MissingTarget { mh } => {
+                write!(f, "host {mh}: retrieving phase without a provider target")
+            }
+            SimError::MissingCacheEntry { mh, context } => {
+                write!(f, "host {mh}: cache entry vanished ({context})")
+            }
+            SimError::NoVictim { mh } => {
+                write!(f, "host {mh}: full cache produced no eviction victim")
+            }
+            SimError::SchemeMismatch { context } => {
+                write!(
+                    f,
+                    "GroCoca-only state touched under another scheme ({context})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_host_and_context() {
+        let e = SimError::MissingPending {
+            mh: 7,
+            context: "on_reply",
+        };
+        assert_eq!(e.to_string(), "host 7: pending request vanished (on_reply)");
+        let e = SimError::MissingTarget { mh: 3 };
+        assert!(e.to_string().contains("host 3"));
+        let e = SimError::SchemeMismatch {
+            context: "reconnect sync",
+        };
+        assert!(e.to_string().contains("reconnect sync"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::NoVictim { mh: 0 });
+    }
+}

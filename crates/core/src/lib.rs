@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod error;
 mod fault;
 mod host;
 mod metrics;
@@ -55,6 +56,7 @@ mod tcg;
 mod trace;
 
 pub use config::{DataDelivery, GroCocaToggles, Scheme, SimConfig};
+pub use error::SimError;
 pub use fault::{AuditReport, ConfigError, FaultPlan, FaultStats, RetryPolicy};
 pub use grococa_cache::ReplacementPolicy;
 pub use grococa_mobility::MotionModel;

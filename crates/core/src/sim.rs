@@ -16,6 +16,7 @@ use grococa_sim::{transmission_time, Scheduler, SimRng, SimTime};
 use grococa_workload::{AccessPattern, ItemId, ServerDb};
 
 use crate::config::{DataDelivery, Scheme, SimConfig};
+use crate::error::SimError;
 use crate::fault::{AuditReport, ConfigError, FaultStats};
 use crate::host::{Host, Pending, Phase};
 use crate::metrics::{Metrics, Outcome, Report};
@@ -424,7 +425,21 @@ impl Simulation {
 
     /// Runs the simulation like [`Simulation::run`] but returns the whole
     /// world alongside the output, for post-mortem inspection.
-    pub fn run_inspect(mut self) -> (RunOutput, Simulation) {
+    ///
+    /// Panics if an internal invariant breaks mid-run; use
+    /// [`Simulation::try_run_inspect`] to receive the violation as a
+    /// typed [`SimError`] instead.
+    pub fn run_inspect(self) -> (RunOutput, Simulation) {
+        // A SimError is always a simulator bug (see `crate::error`), so
+        // the ergonomic public API keeps panicking at the boundary.
+        self.try_run_inspect()
+            .expect("simulation invariant violated") // tidy:allow(panic-discipline): the panicking boundary of the typed-error dispatcher; invariant bugs must still abort figure runs loudly
+    }
+
+    /// Runs the simulation like [`Simulation::run_inspect`] but surfaces
+    /// broken internal invariants as [`SimError`] values instead of
+    /// panicking, so embedding harnesses can quarantine a bad run.
+    pub fn try_run_inspect(mut self) -> Result<(RunOutput, Simulation), SimError> {
         let mut sched: Scheduler<Ev> = Scheduler::new();
         self.bootstrap(&mut sched);
         let deadline = self.cfg.hang_deadline_secs.map(SimTime::from_secs_f64);
@@ -434,7 +449,7 @@ impl Simulation {
                 None => sched.pop(),
             };
             let Some((_, ev)) = next else { break };
-            self.handle(&mut sched, ev);
+            self.handle(&mut sched, ev)?;
             if self.completed_recorded >= self.target_completed {
                 break;
             }
@@ -459,7 +474,7 @@ impl Simulation {
             audit,
             metrics: self.metrics.clone(),
         };
-        (out, self)
+        Ok((out, self))
     }
 
     /// Runs to completion and returns the collected metrics.
@@ -509,10 +524,10 @@ impl Simulation {
     // Event dispatch
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) -> Result<(), SimError> {
         self.last_event_time = sched.now();
         match ev {
-            Ev::NextRequest { mh } => self.on_next_request(sched, mh),
+            Ev::NextRequest { mh } => self.on_next_request(sched, mh)?,
             Ev::PeerRequest {
                 requester,
                 gen,
@@ -524,39 +539,41 @@ impl Simulation {
                 requester,
                 gen,
                 from,
-            } => self.on_reply(sched, requester, gen, from),
-            Ev::Retrieve { requester, gen } => self.on_retrieve(sched, requester, gen),
+            } => self.on_reply(sched, requester, gen, from)?,
+            Ev::Retrieve { requester, gen } => self.on_retrieve(sched, requester, gen)?,
             Ev::PeerData {
                 requester,
                 gen,
                 from,
                 expiry,
-            } => self.on_peer_data(sched, requester, gen, from, expiry),
-            Ev::SearchTimeout { requester, gen } => self.on_search_timeout(sched, requester, gen),
-            Ev::RetrieveTimeout { requester, gen } => {
-                self.on_retrieve_timeout(sched, requester, gen)
+            } => self.on_peer_data(sched, requester, gen, from, expiry)?,
+            Ev::SearchTimeout { requester, gen } => {
+                self.on_search_timeout(sched, requester, gen)?
             }
-            Ev::ServerRetry { mh, gen } => self.on_server_retry(sched, mh, gen),
-            Ev::ServerRequest { mh, gen } => self.on_server_request(sched, mh, gen),
+            Ev::RetrieveTimeout { requester, gen } => {
+                self.on_retrieve_timeout(sched, requester, gen)?
+            }
+            Ev::ServerRetry { mh, gen } => self.on_server_retry(sched, mh, gen)?,
+            Ev::ServerRequest { mh, gen } => self.on_server_request(sched, mh, gen)?,
             Ev::ServerData {
                 mh,
                 gen,
                 expiry,
                 t_r,
                 changes,
-            } => self.on_server_data(sched, mh, gen, expiry, t_r, changes),
-            Ev::ValidationRequest { mh, gen } => self.on_validation_request(sched, mh, gen),
+            } => self.on_server_data(sched, mh, gen, expiry, t_r, changes)?,
+            Ev::ValidationRequest { mh, gen } => self.on_validation_request(sched, mh, gen)?,
             Ev::ValidationOk {
                 mh,
                 gen,
                 expiry,
                 t_r,
                 changes,
-            } => self.on_validation_ok(sched, mh, gen, expiry, t_r, changes),
+            } => self.on_validation_ok(sched, mh, gen, expiry, t_r, changes)?,
             Ev::SigRequest { from, to, members } => self.on_sig_request(sched, from, to, members),
             Ev::SigReply { from, to, sig } => self.on_sig_reply(from, to, sig),
             Ev::Reconnect { mh } => self.on_reconnect(sched, mh),
-            Ev::ReconnectSync { mh } => self.on_reconnect_sync(sched, mh),
+            Ev::ReconnectSync { mh } => self.on_reconnect_sync(sched, mh)?,
             Ev::ReconnectSyncDone { mh, members } => {
                 self.on_reconnect_sync_done(sched, mh, members)
             }
@@ -569,10 +586,13 @@ impl Simulation {
             Ev::AgeIntervals => self.on_age_intervals(sched),
             Ev::WarmupCap => self.begin_recording(sched.now()),
             Ev::BeaconTick => self.on_beacon_tick(sched),
-            Ev::Delegated { to, item, expiry } => self.on_delegated(sched.now(), to, item, expiry),
+            Ev::Delegated { to, item, expiry } => {
+                self.on_delegated(sched.now(), to, item, expiry)?
+            }
             Ev::RefreshPushSchedule => self.on_refresh_push(sched),
-            Ev::PushArrive { mh, gen } => self.on_push_arrive(sched, mh, gen),
+            Ev::PushArrive { mh, gen } => self.on_push_arrive(sched, mh, gen)?,
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -699,23 +719,34 @@ impl Simulation {
     /// The retrieve watchdog fired: the promised data never arrived.
     /// Bounded retransmission with exponential backoff, then the server
     /// fallback.
-    fn on_retrieve_timeout(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+    fn on_retrieve_timeout(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
-            return;
+            return Ok(());
         }
         let (target, attempt) = {
             let p = self.hosts[requester]
                 .pending
                 .as_ref()
-                .expect("guard passed");
-            (p.target.expect("retrieving implies a target"), p.attempt)
+                .ok_or(SimError::MissingPending {
+                    mh: requester,
+                    context: "retrieve timeout",
+                })?;
+            (
+                p.target.ok_or(SimError::MissingTarget { mh: requester })?,
+                p.attempt,
+            )
         };
         if attempt >= self.cfg.retry.max_retrieve_retries {
             if self.warm {
                 self.metrics.retrieve_fallbacks += 1;
             }
             self.enter_server_phase(sched, requester, gen);
-            return;
+            return Ok(());
         }
         self.fstats.retrieve_retries += 1;
         self.trace_now(requester, TraceKind::Retried);
@@ -731,6 +762,7 @@ impl Simulation {
             p.attempt = attempt + 1;
             p.watchdog = Some(wd);
         }
+        Ok(())
     }
 
     /// The server watchdog fired: the interaction produced no response
@@ -740,27 +772,26 @@ impl Simulation {
     /// with capped backoff until served: the MSS is the authority of
     /// last resort and outage windows are finite by construction, so
     /// termination is guaranteed.
-    fn on_server_retry(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
-        let phase = match self.hosts[mh].pending.as_ref() {
+    fn on_server_retry(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
+        let (phase, attempt, item) = match self.hosts[mh].pending.as_ref() {
             Some(p) if p.gen == gen && matches!(p.phase, Phase::Server | Phase::Validating) => {
-                p.phase
+                (p.phase, p.attempt, p.item)
             }
-            _ => return,
+            _ => return Ok(()),
         };
         let now = sched.now();
-        let attempt = self.hosts[mh]
-            .pending
-            .as_ref()
-            .expect("guard passed")
-            .attempt;
         if phase == Phase::Validating && attempt >= self.cfg.retry.max_validation_retries {
             // Graceful degradation: the copy is stale, not wrong — serve
             // it rather than hang on an unreachable validator.
             self.fstats.stale_serves += 1;
-            let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
             self.hosts[mh].cache.get(item, now);
-            self.complete(sched, mh, Outcome::Local, false);
-            return;
+            self.complete(sched, mh, Outcome::Local, false)?;
+            return Ok(());
         }
         self.fstats.server_retries += 1;
         self.trace_now(mh, TraceKind::Retried);
@@ -780,6 +811,7 @@ impl Simulation {
             p.attempt = attempt + 1;
             p.watchdog = Some(wd);
         }
+        Ok(())
     }
 
     /// The end-of-run invariant audit (see [`AuditReport`]): every
@@ -853,9 +885,9 @@ impl Simulation {
     // Request lifecycle
     // ------------------------------------------------------------------
 
-    fn on_next_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+    fn on_next_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize) -> Result<(), SimError> {
         if !self.hosts[mh].connected {
-            return; // reconnection reschedules
+            return Ok(()); // reconnection reschedules
         }
         let now = sched.now();
         let group = self.field.group_of(mh);
@@ -884,11 +916,14 @@ impl Simulation {
             if entry.is_valid(now) {
                 host.cache.get(item, now);
                 self.trace(now, mh, TraceKind::LocalHit);
-                self.complete(sched, mh, Outcome::Local, false);
+                self.complete(sched, mh, Outcome::Local, false)?;
             } else {
                 // TTL expired: consult the MSS (Section IV.F).
                 let host = &mut self.hosts[mh];
-                let p = host.pending.as_mut().expect("request just created");
+                let p = host.pending.as_mut().ok_or(SimError::MissingPending {
+                    mh,
+                    context: "validation of a request just created",
+                })?;
                 p.phase = Phase::Validating;
                 p.validating_t_r = entry.retrieved_at;
                 if self.warm {
@@ -900,14 +935,14 @@ impl Simulation {
                 sched.schedule_at(arr, Ev::ValidationRequest { mh, gen });
                 self.arm_server_watchdog(sched, mh, gen);
             }
-            return;
+            return Ok(());
         }
 
         // 2. Local miss: under hybrid delivery, tune in to the broadcast
         // channel when the item airs soon enough (costs nothing on the
         // metered P2P NIC).
-        if self.try_tune_in(sched, mh, gen, item) {
-            return;
+        if self.try_tune_in(sched, mh, gen, item)? {
+            return Ok(());
         }
 
         // 3. Peer search or straight to the MSS. A host in solo mode
@@ -920,11 +955,12 @@ impl Simulation {
                 self.fstats.solo_skips += 1;
                 self.enter_server_phase(sched, mh, gen);
             } else {
-                self.start_search(sched, mh, gen, item);
+                self.start_search(sched, mh, gen, item)?;
             }
         } else {
             self.enter_server_phase(sched, mh, gen);
         }
+        Ok(())
     }
 
     /// Hybrid delivery: if `item` is on the broadcast program and its next
@@ -935,38 +971,53 @@ impl Simulation {
         mh: usize,
         gen: u64,
         item: ItemId,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         let DataDelivery::Hybrid { max_wait_secs, .. } = self.cfg.delivery else {
-            return false;
+            return Ok(false);
         };
         let now = sched.now();
         let Some(delivery) = self.push.next_delivery(item.as_u64(), now) else {
-            return false;
+            return Ok(false);
         };
         if delivery.saturating_sub(now) > SimTime::from_secs_f64(max_wait_secs) {
-            return false;
+            return Ok(false);
         }
         let p = self.hosts[mh]
             .pending
             .as_mut()
-            .expect("request just created");
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "tune-in on a request just created",
+            })?;
         p.phase = Phase::Tuning;
         sched.schedule_at(delivery, Ev::PushArrive { mh, gen });
-        true
+        Ok(true)
     }
 
-    fn on_push_arrive(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+    fn on_push_arrive(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[mh].pending_matches(gen, Phase::Tuning) {
-            return;
+            return Ok(());
         }
         let now = sched.now();
-        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        let item = self.hosts[mh]
+            .pending
+            .as_ref()
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "push arrival",
+            })?
+            .item;
         // The broadcast copy is fresh from the server.
         let expiry = self.db.expiry_for(item, now);
-        self.admit_item(sched, mh, item, expiry, None);
+        self.admit_item(sched, mh, item, expiry, None)?;
         self.hosts[mh].cache.set_expiry(item, expiry, now);
         self.trace(now, mh, TraceKind::PushDelivered);
-        self.complete(sched, mh, Outcome::Push, false);
+        self.complete(sched, mh, Outcome::Push, false)
     }
 
     /// The MSS recomputes the broadcast program: the `push_slots` hottest
@@ -1032,7 +1083,13 @@ impl Simulation {
         }
     }
 
-    fn start_search(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64, item: ItemId) {
+    fn start_search(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+        item: ItemId,
+    ) -> Result<(), SimError> {
         let now = sched.now();
         let updates = if self.cfg.scheme == Scheme::GroCoca && self.cfg.toggles.piggyback_updates {
             let (ins, evs) = self.hosts[mh].take_update_lists();
@@ -1087,9 +1144,13 @@ impl Simulation {
             }
         }
         let host = &mut self.hosts[mh];
-        let p = host.pending.as_mut().expect("search on live request");
+        let p = host.pending.as_mut().ok_or(SimError::MissingPending {
+            mh,
+            context: "search on live request",
+        })?;
         p.broadcast_at = now;
         p.timeout = Some(sched.schedule_after(tau, Ev::SearchTimeout { requester: mh, gen }));
+        Ok(())
     }
 
     /// Who a broadcast from `mh` reaches within `HopDist` hops: exact
@@ -1180,19 +1241,26 @@ impl Simulation {
         }
     }
 
-    fn on_reply(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64, from: usize) {
+    fn on_reply(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+        from: usize,
+    ) -> Result<(), SimError> {
         if !self.hosts[requester].pending_matches(gen, Phase::Searching) {
-            return; // late or duplicate reply
+            return Ok(()); // late or duplicate reply
         }
         let now = sched.now();
+        let missing = SimError::MissingPending {
+            mh: requester,
+            context: "peer reply",
+        };
         let host = &mut self.hosts[requester];
-        let p = host.pending.as_mut().expect("guard passed");
+        let p = host.pending.as_mut().ok_or(missing)?;
         let observed = now.saturating_sub(p.broadcast_at);
         host.search_stats.record(observed.as_secs_f64());
-        let p = self.hosts[requester]
-            .pending
-            .as_mut()
-            .expect("guard passed");
+        let p = self.hosts[requester].pending.as_mut().ok_or(missing)?;
         if let Some(id) = p.timeout.take() {
             sched.cancel(id);
         }
@@ -1216,19 +1284,31 @@ impl Simulation {
                 p.watchdog = Some(wd);
             }
         }
+        Ok(())
     }
 
-    fn on_retrieve(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+    fn on_retrieve(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
-            return;
+            return Ok(());
         }
         let now = sched.now();
         let (item, target) = {
             let p = self.hosts[requester]
                 .pending
                 .as_ref()
-                .expect("guard passed");
-            (p.item, p.target.expect("retrieving implies a target"))
+                .ok_or(SimError::MissingPending {
+                    mh: requester,
+                    context: "retrieve send",
+                })?;
+            (
+                p.item,
+                p.target.ok_or(SimError::MissingTarget { mh: requester })?,
+            )
         };
         if !self.hosts[target].connected || !self.hosts[target].has_valid(item, now) {
             // The target vanished or evicted/expired the copy since its
@@ -1237,14 +1317,14 @@ impl Simulation {
                 self.metrics.retrieve_fallbacks += 1;
             }
             self.enter_server_phase(sched, requester, gen);
-            return;
+            return Ok(());
         }
         // Mid-transfer departure: the provider drops off the network at
         // the instant it would start streaming. The requester's retrieve
         // watchdog retries, finds the target gone and falls back to the
         // MSS; the provider reconnects through the ordinary path.
         if self.faults_active && self.maybe_depart_provider(sched, target) {
-            return;
+            return Ok(());
         }
         // Cooperative admission, provider side: a TCG member serving the
         // item refreshes its last-access timestamp so the copy is retained
@@ -1258,13 +1338,16 @@ impl Simulation {
         let expiry = self.hosts[target]
             .cache
             .peek(item)
-            .expect("validity just checked")
+            .ok_or(SimError::MissingCacheEntry {
+                mh: target,
+                context: "validity just checked",
+            })?
             .expires_at;
         let bytes = self.cfg.msg.data_message();
         let done = self.p2p.send(target, now, bytes);
         self.charge_p2p(target, requester, bytes, now);
         if self.fault_lost() {
-            return;
+            return Ok(());
         }
         sched.schedule_at(
             done,
@@ -1275,6 +1358,7 @@ impl Simulation {
                 expiry,
             },
         );
+        Ok(())
     }
 
     fn on_peer_data(
@@ -1284,33 +1368,41 @@ impl Simulation {
         gen: u64,
         from: usize,
         expiry: SimTime,
-    ) {
+    ) -> Result<(), SimError> {
         if !self.hosts[requester].pending_matches(gen, Phase::Retrieving) {
-            return;
+            return Ok(());
         }
         // A corrupted payload fails the signature/integrity check and is
         // dropped; the retrieve watchdog recovers.
         if self.fault_corrupted() {
-            return;
+            return Ok(());
         }
         let item = self.hosts[requester]
             .pending
             .as_ref()
-            .expect("guard passed")
+            .ok_or(SimError::MissingPending {
+                mh: requester,
+                context: "peer data arrival",
+            })?
             .item;
         let from_tcg =
             self.cfg.scheme == Scheme::GroCoca && self.hosts[requester].tcg.contains(&from);
-        self.admit_item(sched, requester, item, expiry, Some((from, from_tcg)));
+        self.admit_item(sched, requester, item, expiry, Some((from, from_tcg)))?;
         if self.cfg.scheme == Scheme::GroCoca {
             self.hosts[requester].peer_retrieved_log.push(item);
         }
         self.trace(sched.now(), requester, TraceKind::GlobalHit { from });
-        self.complete(sched, requester, Outcome::Global, from_tcg);
+        self.complete(sched, requester, Outcome::Global, from_tcg)
     }
 
-    fn on_search_timeout(&mut self, sched: &mut Scheduler<Ev>, requester: usize, gen: u64) {
+    fn on_search_timeout(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        requester: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[requester].pending_matches(gen, Phase::Searching) {
-            return;
+            return Ok(());
         }
         if self.warm {
             self.metrics.search_timeouts += 1;
@@ -1321,7 +1413,10 @@ impl Simulation {
                 let p = self.hosts[requester]
                     .pending
                     .as_ref()
-                    .expect("guard passed");
+                    .ok_or(SimError::MissingPending {
+                        mh: requester,
+                        context: "search timeout",
+                    })?;
                 (p.item, p.attempt)
             };
             if attempt < self.cfg.retry.max_search_retries {
@@ -1333,8 +1428,8 @@ impl Simulation {
                 if let Some(p) = self.hosts[requester].pending_mut(gen) {
                     p.attempt = attempt + 1;
                 }
-                self.start_search(sched, requester, gen, item);
-                return;
+                self.start_search(sched, requester, gen, item)?;
+                return Ok(());
             }
             // A terminally silent search: after enough consecutive ones
             // the host assumes it is partitioned and goes solo. Streaks
@@ -1354,6 +1449,7 @@ impl Simulation {
             }
         }
         self.enter_server_phase(sched, requester, gen);
+        Ok(())
     }
 
     fn enter_server_phase(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
@@ -1378,15 +1474,27 @@ impl Simulation {
         self.arm_server_watchdog(sched, mh, gen);
     }
 
-    fn on_server_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+    fn on_server_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[mh].pending_matches(gen, Phase::Server) {
-            return;
+            return Ok(());
         }
         if self.server_outage_drop(sched.now()) {
-            return;
+            return Ok(());
         }
         let now = sched.now();
-        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        let item = self.hosts[mh]
+            .pending
+            .as_ref()
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "server request arrival",
+            })?
+            .item;
         self.popularity[item.index()] += 1;
         let changes = self.mss_observe(mh, Some(item), now);
         let expiry = self.db.expiry_for(item, now);
@@ -1403,6 +1511,7 @@ impl Simulation {
                 changes: Rc::new(changes),
             },
         );
+        Ok(())
     }
 
     fn on_server_data(
@@ -1413,35 +1522,53 @@ impl Simulation {
         expiry: SimTime,
         t_r: SimTime,
         changes: Rc<Vec<MembershipChange>>,
-    ) {
+    ) -> Result<(), SimError> {
         let matches_server = self.hosts[mh].pending_matches(gen, Phase::Server)
             || self.hosts[mh].pending_matches(gen, Phase::Validating);
         if !matches_server {
-            return;
+            return Ok(());
         }
         self.apply_membership(sched, mh, &changes);
-        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
-        self.admit_item(sched, mh, item, expiry, None);
+        let item = self.hosts[mh]
+            .pending
+            .as_ref()
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "server data arrival",
+            })?
+            .item;
+        self.admit_item(sched, mh, item, expiry, None)?;
         // Record the true retrieve time for future validations.
         self.hosts[mh].cache.set_expiry(item, expiry, t_r);
         self.trace(sched.now(), mh, TraceKind::ServerDelivered);
-        self.complete(sched, mh, Outcome::Server, false);
+        self.complete(sched, mh, Outcome::Server, false)
     }
 
     // ------------------------------------------------------------------
     // Cache consistency (Section IV.F)
     // ------------------------------------------------------------------
 
-    fn on_validation_request(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+    fn on_validation_request(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
-            return;
+            return Ok(());
         }
         if self.server_outage_drop(sched.now()) {
-            return;
+            return Ok(());
         }
         let now = sched.now();
         let (item, t_r) = {
-            let p = self.hosts[mh].pending.as_ref().expect("guard passed");
+            let p = self.hosts[mh]
+                .pending
+                .as_ref()
+                .ok_or(SimError::MissingPending {
+                    mh,
+                    context: "validation request arrival",
+                })?;
             (p.item, p.validating_t_r)
         };
         self.popularity[item.index()] += 1;
@@ -1480,6 +1607,7 @@ impl Simulation {
                 },
             );
         }
+        Ok(())
     }
 
     fn on_validation_ok(
@@ -1490,17 +1618,24 @@ impl Simulation {
         expiry: SimTime,
         t_r: SimTime,
         changes: Rc<Vec<MembershipChange>>,
-    ) {
+    ) -> Result<(), SimError> {
         if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
-            return;
+            return Ok(());
         }
         self.apply_membership(sched, mh, &changes);
         let now = sched.now();
-        let item = self.hosts[mh].pending.as_ref().expect("guard passed").item;
+        let item = self.hosts[mh]
+            .pending
+            .as_ref()
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "validation reply",
+            })?
+            .item;
         let host = &mut self.hosts[mh];
         host.cache.set_expiry(item, expiry, t_r);
         host.cache.get(item, now);
-        self.complete(sched, mh, Outcome::Local, false);
+        self.complete(sched, mh, Outcome::Local, false)
     }
 
     // ------------------------------------------------------------------
@@ -1517,13 +1652,13 @@ impl Simulation {
         item: ItemId,
         expiry: SimTime,
         provider: Option<(usize, bool)>,
-    ) {
+    ) -> Result<(), SimError> {
         let now = sched.now();
         let grococa = self.cfg.scheme == Scheme::GroCoca;
         let host = &mut self.hosts[mh];
         if host.cache.contains(item) {
             host.cache.insert(item, now, expiry); // refresh in place
-            return;
+            return Ok(());
         }
         if host.cache.is_full() {
             // Cooperative admission: an item readily available from a TCG
@@ -1532,12 +1667,15 @@ impl Simulation {
                 && self.cfg.toggles.admission_control
                 && provider.is_some_and(|(_, in_tcg)| in_tcg)
             {
-                return;
+                return Ok(());
             }
             let victim = if grococa && self.cfg.toggles.cooperative_replacement {
-                self.coop_victim(mh)
+                self.coop_victim(mh)?
             } else {
-                self.hosts[mh].cache.victim_key().expect("cache is full")
+                self.hosts[mh]
+                    .cache
+                    .victim_key()
+                    .ok_or(SimError::NoVictim { mh })?
             };
             if grococa && self.cfg.delegate_singlets {
                 self.maybe_delegate(sched, mh, victim);
@@ -1562,6 +1700,7 @@ impl Simulation {
                 }
             }
         }
+        Ok(())
     }
 
     /// The cooperative replacement victim: among the `ReplaceCandidate`
@@ -1569,21 +1708,24 @@ impl Simulation {
     /// signature test); an exhausted singlet is dropped outright; otherwise
     /// the least-valuable item goes, and a skipped least-valuable singlet
     /// loses one SingletTTL.
-    fn coop_victim(&mut self, mh: usize) -> ItemId {
+    fn coop_victim(&mut self, mh: usize) -> Result<ItemId, SimError> {
         let host = &self.hosts[mh];
         let candidates = host.cache.victim_candidates(self.cfg.replace_candidate);
         let least = candidates[0];
         if host
             .cache
             .peek(least)
-            .expect("candidate is cached")
+            .ok_or(SimError::MissingCacheEntry {
+                mh,
+                context: "victim candidate",
+            })?
             .singlet_ttl
             == 0
         {
             if self.warm {
                 self.metrics.singlet_drops += 1;
             }
-            return least;
+            return Ok(least);
         }
         for &cand in &candidates {
             let positions = data_positions(cand.as_u64(), self.cfg.sigma, self.cfg.bloom_k);
@@ -1594,10 +1736,10 @@ impl Simulation {
                 if self.warm {
                     self.metrics.replicated_evictions += 1;
                 }
-                return cand;
+                return Ok(cand);
             }
         }
-        least
+        Ok(least)
     }
 
     /// Cache-delegation extension: if the eviction victim is a *singlet*
@@ -1670,22 +1812,38 @@ impl Simulation {
         }
     }
 
-    fn on_delegated(&mut self, now: SimTime, to: usize, item: ItemId, expiry: SimTime) {
+    fn on_delegated(
+        &mut self,
+        now: SimTime,
+        to: usize,
+        item: ItemId,
+        expiry: SimTime,
+    ) -> Result<(), SimError> {
         if self.fault_corrupted() {
-            return;
+            return Ok(());
         }
         let host = &mut self.hosts[to];
         if !host.connected || host.cache.contains(item) {
-            return;
+            return Ok(());
         }
         if host.cache.is_full() {
             // Accept only by displacing something idle for longer.
-            let victim = host.cache.victim_key().expect("cache is full");
-            let victim_age = host.cache.peek(victim).expect("victim cached").last_access;
+            let victim = host
+                .cache
+                .victim_key()
+                .ok_or(SimError::NoVictim { mh: to })?;
+            let victim_age = host
+                .cache
+                .peek(victim)
+                .ok_or(SimError::MissingCacheEntry {
+                    mh: to,
+                    context: "victim just chosen",
+                })?
+                .last_access;
             // A delegated singlet was just active at its donor; prefer it
             // over anything older than it.
             if victim_age >= now {
-                return;
+                return Ok(());
             }
             host.cache.insert_evicting(item, now, expiry, victim);
             host.note_evict(victim);
@@ -1693,6 +1851,7 @@ impl Simulation {
             host.cache.insert(item, now, expiry);
         }
         host.note_insert(item);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1708,12 +1867,21 @@ impl Simulation {
         }
     }
 
-    fn complete(&mut self, sched: &mut Scheduler<Ev>, mh: usize, outcome: Outcome, from_tcg: bool) {
+    fn complete(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        outcome: Outcome,
+        from_tcg: bool,
+    ) -> Result<(), SimError> {
         let now = sched.now();
         let p = self.hosts[mh]
             .pending
             .take()
-            .expect("completing a live request");
+            .ok_or(SimError::MissingPending {
+                mh,
+                context: "completing a live request",
+            })?;
         if let Some(id) = p.watchdog {
             sched.cancel(id);
         }
@@ -1734,6 +1902,7 @@ impl Simulation {
             let think = self.host_rngs[mh].exponential(mean);
             sched.schedule_after(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
         }
+        Ok(())
     }
 
     fn on_reconnect(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
@@ -1768,17 +1937,19 @@ impl Simulation {
         sched.schedule_after(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
     }
 
-    fn on_reconnect_sync(&mut self, sched: &mut Scheduler<Ev>, mh: usize) {
+    fn on_reconnect_sync(&mut self, sched: &mut Scheduler<Ev>, mh: usize) -> Result<(), SimError> {
         // A sync lost to an MSS outage is not retried: membership stays
         // stale until the next ordinary server contact re-syncs it, which
         // is conservative (the host merely cooperates less).
         if self.server_outage_drop(sched.now()) {
-            return;
+            return Ok(());
         }
         let now = sched.now();
         // Location is piggybacked on the sync; the access vector is not.
         let _ = self.mss_observe(mh, None, now);
-        let dir = self.dir.as_mut().expect("sync only under GroCoca");
+        let dir = self.dir.as_mut().ok_or(SimError::SchemeMismatch {
+            context: "reconnect sync without a TCG directory",
+        })?;
         let members: Vec<usize> = dir.members_of(mh).iter().copied().collect();
         let _ = dir.drain_changes(mh); // the full set supersedes deltas
         let bytes = self.cfg.msg.validation + self.cfg.msg.per_list_entry * members.len() as u64;
@@ -1790,6 +1961,7 @@ impl Simulation {
                 members: Rc::new(members),
             },
         );
+        Ok(())
     }
 
     fn on_reconnect_sync_done(
@@ -2149,7 +2321,7 @@ impl Simulation {
                 (true, true) => P2pRole::DiscardBothRanges,
                 (true, false) => P2pRole::DiscardSenderRange,
                 (false, true) => P2pRole::DiscardDestRange,
-                (false, false) => unreachable!("member of the union"),
+                (false, false) => unreachable!("member of the union"), // tidy:allow(panic-discipline): m is drawn from the merge of s_range and d_range, so it is in at least one of them
             };
             self.metrics.power.charge_p2p(&model, role, bytes);
         }

@@ -1,0 +1,338 @@
+//! Stable finding identities and the grandfathering baseline.
+//!
+//! A finding's id is a 64-bit FNV-1a hash of its *structural*
+//! coordinates — rule, file, enclosing item, matched token, and the
+//! occurrence index of that token within the item — deliberately **not**
+//! its line/column. Adding a doc comment above a function shifts every
+//! line after it but changes none of these coordinates, so the baseline
+//! survives unrelated edits; only actually adding or removing a match
+//! inside the same item re-keys its later siblings.
+//!
+//! The baseline file (`tidy.baseline` at the repo root) grandfathers
+//! pre-existing findings and is a one-way ratchet:
+//!
+//! * a finding not in the baseline is an error (no new debt);
+//! * a baseline entry matching no finding is an error (stale entries
+//!   must be deleted, which is how the burn-down is recorded);
+//! * the `# budget: N` header caps the entry count, and
+//!   `--write-baseline` refuses to raise it (the baseline may only
+//!   shrink).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::Finding;
+
+/// Rules that may never be grandfathered: they guard the linter's own
+/// metadata (directives, the baseline itself, repo shape) rather than
+/// code, so "existing debt" is meaningless for them.
+pub const UNBASELINEABLE: &[&str] = &[
+    "suppression",
+    "unused-suppression",
+    "baseline",
+    "repo-hygiene",
+];
+
+/// 64-bit FNV-1a over `parts`, NUL-separated.
+fn fnv1a64(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for p in parts {
+        for &b in p.as_bytes() {
+            eat(b);
+        }
+        eat(0);
+    }
+    h
+}
+
+/// Computes the stable id for one finding's structural coordinates.
+pub fn finding_id(rule: &str, path: &str, scope: &str, token: &str, occurrence: usize) -> String {
+    format!(
+        "{:016x}",
+        fnv1a64(&[rule, path, scope, token, &occurrence.to_string()])
+    )
+}
+
+/// Assigns ids to `findings` in order: the occurrence index is the
+/// count of earlier findings with the same (rule, path, scope, token).
+/// Callers must pass findings in deterministic scan order.
+pub fn assign_ids(findings: &mut [Finding]) {
+    let mut seen: BTreeMap<(String, String, String, String), usize> = BTreeMap::new();
+    for f in findings {
+        let key = (
+            f.rule.to_string(),
+            f.path.clone(),
+            f.scope.clone(),
+            f.token.clone(),
+        );
+        let occ = seen.entry(key).or_insert(0);
+        f.id = finding_id(f.rule, &f.path, &f.scope, &f.token, *occ);
+        *occ += 1;
+    }
+}
+
+/// One grandfathered entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The finding's stable id.
+    pub id: String,
+    /// Rule id (informational; matching is by id).
+    pub rule: String,
+    /// Repo-relative path (informational).
+    pub path: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Maximum number of entries the ratchet allows.
+    pub budget: usize,
+    /// The grandfathered entries.
+    pub entries: Vec<Entry>,
+}
+
+/// The result of gating findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings that must fail the run (not grandfathered, or
+    /// baseline-integrity errors).
+    pub errors: Vec<Finding>,
+    /// Count of findings the baseline absorbed.
+    pub grandfathered: usize,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Unknown or malformed lines are
+    /// hard errors — a corrupted ratchet must not silently pass.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut budget: Option<usize> = None;
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(n) = rest.trim().strip_prefix("budget:") {
+                    let n = n
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("line {}: bad budget: {e}", idx + 1))?;
+                    budget = Some(n);
+                }
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let (Some(id), Some(rule), Some(path)) = (it.next(), it.next(), it.next()) else {
+                return Err(format!(
+                    "line {}: expected `<id> <rule> <path> …`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            if id.len() != 16 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "line {}: `{id}` is not a 16-hex finding id",
+                    idx + 1
+                ));
+            }
+            entries.push(Entry {
+                id: id.to_string(),
+                rule: rule.to_string(),
+                path: path.to_string(),
+            });
+        }
+        let budget = budget.ok_or("missing `# budget: N` header".to_string())?;
+        Ok(Baseline { budget, entries })
+    }
+
+    /// Renders a baseline grandfathering exactly `findings` (which must
+    /// already carry ids) under `budget`. Ordering is line-independent
+    /// so unrelated edits do not churn the file.
+    pub fn render(findings: &[&Finding], budget: usize) -> String {
+        let mut rows: Vec<&Finding> = findings.to_vec();
+        rows.sort_by(|a, b| {
+            (&a.path, &a.scope, &a.token, &a.id).cmp(&(&b.path, &b.scope, &b.token, &b.id))
+        });
+        let mut out = String::new();
+        out.push_str(
+            "# grococa-tidy baseline — grandfathered findings, one per line.\n\
+             # Maintained by `grococa-tidy --write-baseline`; the budget is a one-way\n\
+             # ratchet (it may only shrink). Delete entries as you burn findings down.\n",
+        );
+        let _ = writeln!(out, "# budget: {budget}");
+        for f in rows {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}::{}",
+                f.id, f.rule, f.path, f.scope, f.token
+            );
+        }
+        out
+    }
+
+    /// Gates `findings` (with ids assigned) against this baseline:
+    /// grandfathered findings are absorbed, everything else errors, and
+    /// baseline-integrity violations (stale entries, budget overflow)
+    /// are synthesized as `baseline`-rule errors on `baseline_path`.
+    pub fn apply(&self, findings: Vec<Finding>, baseline_path: &str) -> Applied {
+        let mut used: BTreeMap<&str, bool> = self
+            .entries
+            .iter()
+            .map(|e| (e.id.as_str(), false))
+            .collect();
+        let mut out = Applied::default();
+        for f in findings {
+            let baselineable = !UNBASELINEABLE.contains(&f.rule);
+            match used.get_mut(f.id.as_str()) {
+                Some(u) if baselineable => {
+                    *u = true;
+                    out.grandfathered += 1;
+                }
+                _ => out.errors.push(f),
+            }
+        }
+        for e in &self.entries {
+            if !used.get(e.id.as_str()).copied().unwrap_or(true) {
+                out.errors.push(Finding {
+                    rule: "baseline",
+                    path: baseline_path.to_string(),
+                    line: 0,
+                    col: 0,
+                    scope: "-".to_string(),
+                    token: e.id.clone(),
+                    message: format!(
+                        "stale baseline entry `{}` ({} in {}): the finding no longer \
+                         exists — delete the entry (and lower the budget) to record \
+                         the burn-down",
+                        e.id, e.rule, e.path
+                    ),
+                    id: String::new(),
+                });
+            }
+        }
+        if self.entries.len() > self.budget {
+            out.errors.push(Finding {
+                rule: "baseline",
+                path: baseline_path.to_string(),
+                line: 0,
+                col: 0,
+                scope: "-".to_string(),
+                token: "budget".to_string(),
+                message: format!(
+                    "baseline holds {} entries but the budget is {}: the baseline may \
+                     only shrink",
+                    self.entries.len(),
+                    self.budget
+                ),
+                id: String::new(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(rule: &'static str, path: &str, scope: &str, token: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 1,
+            scope: scope.to_string(),
+            token: token.to_string(),
+            message: String::new(),
+            id: String::new(),
+        }
+    }
+
+    #[test]
+    fn ids_survive_line_shifts_but_split_occurrences() {
+        let mut a = vec![
+            fake("panic-discipline", "a.rs", "S::f", "unwrap", 10),
+            fake("panic-discipline", "a.rs", "S::f", "unwrap", 20),
+        ];
+        assign_ids(&mut a);
+        // Same findings, shifted 100 lines down: identical ids.
+        let mut b = vec![
+            fake("panic-discipline", "a.rs", "S::f", "unwrap", 110),
+            fake("panic-discipline", "a.rs", "S::f", "unwrap", 120),
+        ];
+        assign_ids(&mut b);
+        assert_eq!(a[0].id, b[0].id);
+        assert_eq!(a[1].id, b[1].id);
+        assert_ne!(a[0].id, a[1].id, "occurrences must not collide");
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let mut f1 = fake("send-readiness", "crates/core/src/sim.rs", "Ev", "Rc", 1);
+        let mut f2 = fake(
+            "panic-discipline",
+            "crates/core/src/sim.rs",
+            "Simulation::complete",
+            "expect",
+            2,
+        );
+        assign_ids(std::slice::from_mut(&mut f1));
+        assign_ids(std::slice::from_mut(&mut f2));
+        let text = Baseline::render(&[&f1, &f2], 2);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.budget, 2);
+        assert_eq!(b.entries.len(), 2);
+        let ids: Vec<&str> = b.entries.iter().map(|e| e.id.as_str()).collect();
+        assert!(ids.contains(&f1.id.as_str()));
+        assert!(ids.contains(&f2.id.as_str()));
+    }
+
+    #[test]
+    fn apply_absorbs_grandfathered_and_reports_new_and_stale() {
+        let mut fs = vec![
+            fake("panic-discipline", "a.rs", "S::f", "unwrap", 1),
+            fake("panic-discipline", "a.rs", "S::g", "expect", 2),
+        ];
+        assign_ids(&mut fs);
+        // Baseline knows f[0] plus one id that no longer exists.
+        let text = format!(
+            "# budget: 2\n{} panic-discipline a.rs x\ndeadbeefdeadbeef panic-discipline gone.rs x\n",
+            fs[0].id
+        );
+        let b = Baseline::parse(&text).unwrap();
+        let applied = b.apply(fs, "tidy.baseline");
+        assert_eq!(applied.grandfathered, 1);
+        let rules: Vec<&str> = applied.errors.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"panic-discipline"), "{rules:?}"); // the new S::g finding
+        assert!(rules.contains(&"baseline"), "{rules:?}"); // the stale entry
+    }
+
+    #[test]
+    fn budget_overflow_is_an_error_and_suppressions_never_baseline() {
+        let mut fs = vec![fake("suppression", "a.rs", "-", "tidy:allow", 1)];
+        assign_ids(&mut fs);
+        let text = format!("# budget: 0\n{} suppression a.rs x\n", fs[0].id);
+        let b = Baseline::parse(&text).unwrap();
+        let applied = b.apply(fs, "tidy.baseline");
+        // The suppression finding errors even though its id is listed,
+        // and the 1-entry/0-budget overflow errors too.
+        assert_eq!(applied.grandfathered, 0);
+        assert!(applied.errors.iter().any(|f| f.rule == "suppression"));
+        assert!(applied
+            .errors
+            .iter()
+            .any(|f| f.rule == "baseline" && f.token == "budget"));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("nonsense\n").is_err());
+        assert!(Baseline::parse("# budget: x\n").is_err());
+        assert!(Baseline::parse("").is_err(), "missing budget header");
+        assert!(Baseline::parse("# budget: 1\nshort panic a.rs\n").is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Item spanning: groups a file's token stream into functions (with
+//! their enclosing `impl` type), type definitions, and test regions.
+//!
+//! This is deliberately not a parser — it is a single recursive walk
+//! over brace structure that recovers exactly what the rules need:
+//! which tokens belong to which function body, which functions are
+//! methods of which type, and which spans are test collateral. Being
+//! an over-approximation is fine for a linter; being *wrong about
+//! strings and comments* is not, which is why the walk consumes the
+//! [`crate::lexer`] stream rather than raw text.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A function item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl` type's last path segment, if any.
+    pub impl_type: Option<String>,
+    /// Token index (into the file's full token stream) of the `fn`
+    /// keyword.
+    pub item_start: usize,
+    /// Token indices of the body's `{` and `}` (inclusive bounds).
+    /// `None` for bodiless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line range the item spans.
+    pub lines: (usize, usize),
+    /// Whether this function is test collateral (`#[test]`, or inside
+    /// a `#[cfg(test)]` module).
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `struct` or `enum` definition recovered from a file.
+#[derive(Debug, Clone)]
+pub struct TypeItem {
+    /// The type's name.
+    pub name: String,
+    /// Token index of the `struct`/`enum` keyword.
+    pub item_start: usize,
+    /// Token index of the final token (closing `}` or `;`).
+    pub item_end: usize,
+    /// Whether the definition is test collateral.
+    pub is_test: bool,
+}
+
+/// Everything the item scanner recovers from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// All function items, in post-order (a nested fn precedes its
+    /// parent).
+    pub fns: Vec<FnItem>,
+    /// All struct/enum definitions, in post-order.
+    pub types: Vec<TypeItem>,
+    /// 1-based line ranges (inclusive) covered by test collateral.
+    pub test_lines: Vec<(usize, usize)>,
+}
+
+impl FileItems {
+    /// Whether a line falls inside any test region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_lines.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Index of the innermost function whose item span contains token
+    /// index `tok` (including the signature, not just the body).
+    pub fn fn_containing(&self, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                let end = f.body.map_or(f.item_start, |(_, close)| close);
+                f.item_start <= tok && tok <= end
+            })
+            .max_by_key(|(_, f)| f.item_start)
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the type definition containing token index `tok`.
+    pub fn type_containing(&self, tok: usize) -> Option<usize> {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.item_start <= tok && tok <= t.item_end)
+            .max_by_key(|(_, t)| t.item_start)
+            .map(|(i, _)| i)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens, in order.
+    code: Vec<usize>,
+    out: FileItems,
+}
+
+/// Scans a lexed file into its item structure. `toks` must be the
+/// full stream from [`crate::lexer::lex`] on the same source.
+pub fn scan_items(src: &str, toks: &[Tok]) -> FileItems {
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut sc = Scanner {
+        src,
+        toks,
+        code,
+        out: FileItems::default(),
+    };
+    let end = sc.code.len();
+    sc.walk(0, end, None, false);
+    sc.out
+}
+
+impl Scanner<'_> {
+    fn tok(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        self.tok(ci).text(self.src)
+    }
+
+    fn is_punct(&self, ci: usize, c: char) -> bool {
+        ci < self.code.len() && self.tok(ci).kind == TokKind::Punct && self.text(ci).starts_with(c)
+    }
+
+    fn is_ident(&self, ci: usize, name: &str) -> bool {
+        ci < self.code.len() && self.tok(ci).kind == TokKind::Ident && self.text(ci) == name
+    }
+
+    /// Records a test region covering code tokens `[from, to]`.
+    fn mark_test(&mut self, from: usize, to: usize) {
+        let a = self.tok(from).line;
+        let b = self.tok(to.min(self.code.len() - 1)).line;
+        self.out.test_lines.push((a, b));
+    }
+
+    /// Consumes an attribute starting at `#`; returns (next index,
+    /// whether the attribute mentions `test`).
+    fn attr(&mut self, mut i: usize) -> (usize, bool) {
+        i += 1; // '#'
+        if self.is_punct(i, '!') {
+            i += 1;
+        }
+        let mut mentions_test = false;
+        if self.is_punct(i, '[') {
+            let mut depth = 0usize;
+            while i < self.code.len() {
+                if self.is_punct(i, '[') {
+                    depth += 1;
+                } else if self.is_punct(i, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if self.tok(i).kind == TokKind::Ident && self.text(i) == "test" {
+                    mentions_test = true;
+                }
+                i += 1;
+            }
+        }
+        (i, mentions_test)
+    }
+
+    /// Skips a balanced `<…>` generics list starting at `<`. `->`
+    /// arrows inside (e.g. `F: Fn() -> T`) do not unbalance because
+    /// the `>` preceded by `-` is skipped as part of the arrow.
+    fn skip_generics(&self, mut i: usize) -> usize {
+        let mut depth = 0usize;
+        while i < self.code.len() {
+            if self.is_punct(i, '<') {
+                depth += 1;
+            } else if self.is_punct(i, '>') && !(i > 0 && self.is_punct(i - 1, '-')) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Walks code tokens `[i, end)`, returning the index just past the
+    /// `}` that closes the block this call entered (or `end`).
+    fn walk(&mut self, mut i: usize, end: usize, impl_type: Option<&str>, in_test: bool) -> usize {
+        let mut pending_test = false;
+        while i < end {
+            if self.is_punct(i, '}') {
+                return i + 1;
+            }
+            if self.is_punct(i, '{') {
+                i = self.walk(i + 1, end, impl_type, in_test);
+                continue;
+            }
+            if self.is_punct(i, '#') {
+                let (next, t) = self.attr(i);
+                pending_test |= t;
+                i = next;
+                continue;
+            }
+            if self.is_punct(i, ';') {
+                // End of a non-item statement: any pending attribute
+                // applied to it, not to a later item.
+                pending_test = false;
+                i += 1;
+                continue;
+            }
+            if self.tok(i).kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match self.text(i) {
+                "fn" if i + 1 < end && self.tok(i + 1).kind == TokKind::Ident => {
+                    let is_test = in_test || pending_test;
+                    pending_test = false;
+                    i = self.fn_item(i, end, impl_type, is_test);
+                }
+                "impl" => {
+                    pending_test = false;
+                    i = self.impl_item(i, end, in_test);
+                }
+                "mod" if i + 1 < end && self.tok(i + 1).kind == TokKind::Ident => {
+                    let is_test = in_test || pending_test;
+                    pending_test = false;
+                    let start = i;
+                    i += 2;
+                    if self.is_punct(i, '{') {
+                        let after = self.walk(i + 1, end, None, is_test);
+                        if is_test && !in_test {
+                            self.mark_test(start, after.saturating_sub(1));
+                        }
+                        i = after;
+                    }
+                }
+                "struct" | "enum" if i + 1 < end && self.tok(i + 1).kind == TokKind::Ident => {
+                    let is_test = in_test || pending_test;
+                    pending_test = false;
+                    i = self.type_item(i, end, is_test);
+                }
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Consumes `fn name …` starting at the `fn` keyword.
+    fn fn_item(
+        &mut self,
+        fn_ci: usize,
+        end: usize,
+        impl_type: Option<&str>,
+        is_test: bool,
+    ) -> usize {
+        let name = self.text(fn_ci + 1).to_string();
+        let mut j = fn_ci + 2;
+        // Scan the signature for the body's `{` or a decl-ending `;`.
+        // Generics are skipped wholesale so a `{` inside a const
+        // generic default can't fool us.
+        while j < end {
+            if self.is_punct(j, '<') {
+                j = self.skip_generics(j);
+                continue;
+            }
+            if self.is_punct(j, '{') || self.is_punct(j, ';') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end || self.is_punct(j, ';') {
+            self.out.fns.push(FnItem {
+                name,
+                impl_type: impl_type.map(str::to_string),
+                item_start: self.code[fn_ci],
+                body: None,
+                lines: (self.tok(fn_ci).line, self.tok(j.min(end - 1)).line),
+                is_test,
+            });
+            return (j + 1).min(end);
+        }
+        let after = self.walk(j + 1, end, None, is_test);
+        let close = after.saturating_sub(1);
+        self.out.fns.push(FnItem {
+            name,
+            impl_type: impl_type.map(str::to_string),
+            item_start: self.code[fn_ci],
+            body: Some((self.code[j], self.code[close])),
+            lines: (self.tok(fn_ci).line, self.tok(close).line),
+            is_test,
+        });
+        if is_test {
+            self.mark_test(fn_ci, close);
+        }
+        after
+    }
+
+    /// Consumes `impl … { … }` starting at the `impl` keyword,
+    /// recovering the implemented type's last path segment.
+    fn impl_item(&mut self, impl_ci: usize, end: usize, in_test: bool) -> usize {
+        let mut j = impl_ci + 1;
+        if self.is_punct(j, '<') {
+            j = self.skip_generics(j);
+        }
+        // Read to the body `{`, remembering the last depth-0 path
+        // segment; a `for` resets it (trait impl: the type follows).
+        let mut last_seg: Option<String> = None;
+        while j < end && !self.is_punct(j, '{') {
+            if self.is_punct(j, '<') {
+                j = self.skip_generics(j);
+                continue;
+            }
+            if self.is_ident(j, "for") {
+                last_seg = None;
+            } else if self.is_ident(j, "where") {
+                break;
+            } else if self.tok(j).kind == TokKind::Ident {
+                last_seg = Some(self.text(j).to_string());
+            }
+            j += 1;
+        }
+        while j < end && !self.is_punct(j, '{') {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        self.walk(j + 1, end, last_seg.as_deref(), in_test)
+    }
+
+    /// Consumes `struct`/`enum` definitions starting at the keyword.
+    fn type_item(&mut self, kw_ci: usize, end: usize, is_test: bool) -> usize {
+        let name = self.text(kw_ci + 1).to_string();
+        let mut j = kw_ci + 2;
+        // Header: generics/where, then `{ fields }`, `( … );`, or `;`.
+        while j < end {
+            if self.is_punct(j, '<') {
+                j = self.skip_generics(j);
+                continue;
+            }
+            if self.is_punct(j, '{') || self.is_punct(j, '(') || self.is_punct(j, ';') {
+                break;
+            }
+            j += 1;
+        }
+        let item_end_ci;
+        if j >= end {
+            item_end_ci = end - 1;
+            j = end;
+        } else if self.is_punct(j, ';') {
+            item_end_ci = j;
+            j += 1;
+        } else if self.is_punct(j, '(') {
+            // Tuple struct: consume to the terminating `;`.
+            while j < end && !self.is_punct(j, ';') {
+                j += 1;
+            }
+            item_end_ci = j.min(end - 1);
+            j = (j + 1).min(end);
+        } else {
+            let after = self.walk(j + 1, end, None, is_test);
+            item_end_ci = after.saturating_sub(1);
+            j = after;
+        }
+        self.out.types.push(TypeItem {
+            name,
+            item_start: self.code[kw_ci],
+            item_end: self.code[item_end_ci.min(self.code.len() - 1)],
+            is_test,
+        });
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        scan_items(src, &lex(src))
+    }
+
+    #[test]
+    fn methods_get_their_impl_type() {
+        let src = "struct S;\nimpl S { fn a(&self) {} }\nimpl<T> Other<T> for S { fn b() { fn nested() {} } }\nfn free() {}";
+        let it = items(src);
+        let names: Vec<String> = it.fns.iter().map(FnItem::qualified).collect();
+        // Post-order: a nested fn is recorded before its parent.
+        assert_eq!(names, ["S::a", "nested", "S::b", "free"]);
+        assert_eq!(it.types.len(), 1);
+        assert_eq!(it.types[0].name, "S");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { prod(); }\n}\n";
+        let it = items(src);
+        assert!(!it.line_in_test(1));
+        assert!(it.line_in_test(5));
+        let t = it.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(!it.fns.iter().find(|f| f.name == "prod").unwrap().is_test);
+    }
+
+    #[test]
+    fn generic_signatures_do_not_confuse_body_detection() {
+        let src = "fn g<F: Fn() -> usize>(f: F) -> Vec<u8> { let v = f(); vec![0; v] }";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 1);
+        let f = &it.fns[0];
+        assert!(f.body.is_some());
+        assert_eq!(f.lines, (1, 1));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_recorded_bodiless() {
+        let src = "trait T { fn sig(&self); fn with_default(&self) { self.sig() } }";
+        let it = items(src);
+        let sig = it.fns.iter().find(|f| f.name == "sig").unwrap();
+        assert!(sig.body.is_none());
+        let dflt = it.fns.iter().find(|f| f.name == "with_default").unwrap();
+        assert!(dflt.body.is_some());
+    }
+
+    #[test]
+    fn enums_and_tuple_structs_are_spanned() {
+        let src = "enum E { A, B(u32) }\nstruct P(pub f64, pub f64);\nstruct Unit;";
+        let it = items(src);
+        let names: Vec<&str> = it.types.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["E", "P", "Unit"]);
+    }
+}

@@ -1,0 +1,437 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! This is the front end that replaced tidy v1's per-line regex
+//! scanning: it understands string literals (plain, raw, byte),
+//! character literals vs lifetimes, nested block comments and numeric
+//! literals, and produces a token stream with byte spans and 1-based
+//! line/column positions. Rules run over *code* tokens only, so a
+//! banned name inside a string or comment can never fire — the false-
+//! positive class the v1 scanner had to special-case away.
+//!
+//! The lexer is loss-free: tokens are strictly ordered, never overlap,
+//! and cover every non-whitespace character of the input (a property
+//! the round-trip proptest in `tests/lexer_roundtrip.rs` enforces). It
+//! never fails: bytes it cannot classify become single-character
+//! [`TokKind::Punct`] tokens, which is exactly as much as a linter
+//! needs.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#match`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal, including suffixes and exponents.
+    Num,
+    /// A `// …` comment (doc comments included).
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based character column of the first character.
+    pub col: usize,
+}
+
+impl Tok {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    /// Consumes one character, maintaining line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !f(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) {
+        self.bump_while(|c| c != '\n');
+    }
+
+    fn block_comment(&mut self) {
+        // Caller consumed `/*`. Nested comments must balance.
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (caller consumed the opening quote),
+    /// honouring backslash escapes.
+    fn quoted_string(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body after `r`/`br`: `#…#"…"#…#`.
+    /// Returns false if this is not actually a raw string opener (then
+    /// nothing was consumed).
+    fn raw_string(&mut self) -> bool {
+        let save = (self.pos, self.line, self.col);
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` (raw identifier) or bare `r` — rewind.
+            (self.pos, self.line, self.col) = save;
+            return false;
+        }
+        self.bump(); // opening quote
+        'body: loop {
+            match self.bump() {
+                Some('"') => {
+                    let save_q = (self.pos, self.line, self.col);
+                    for _ in 0..hashes {
+                        if self.peek() == Some('#') {
+                            self.bump();
+                        } else {
+                            (self.pos, self.line, self.col) = save_q;
+                            continue 'body;
+                        }
+                    }
+                    break;
+                }
+                None => break,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Consumes a character/byte literal body (caller consumed `'`).
+    fn char_literal(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('\'') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, radix prefixes and suffixes all fall
+        // under "alphanumeric or _"; additionally accept `.` when
+        // followed by a digit (float) and a sign directly after an
+        // exponent marker.
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    let was_exp = matches!(c, 'e' | 'E');
+                    self.bump();
+                    if was_exp && matches!(self.peek(), Some('+') | Some('-')) {
+                        // `1e-3`: the sign is part of the literal only
+                        // when a digit follows.
+                        if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                            self.bump();
+                        }
+                    }
+                }
+                Some('.') => {
+                    // `1.5` continues the literal; `1..n` and `1.max(2)`
+                    // do not.
+                    if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into its complete token stream.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek() {
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, line, col) = (lx.pos, lx.line, lx.col);
+        let kind = match c {
+            '/' if lx.peek_at(1) == Some('/') => {
+                lx.line_comment();
+                TokKind::LineComment
+            }
+            '/' if lx.peek_at(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                lx.block_comment();
+                TokKind::BlockComment
+            }
+            '"' => {
+                lx.bump();
+                lx.quoted_string();
+                TokKind::Str
+            }
+            'r' | 'b' => {
+                // Raw strings, byte strings, byte chars, raw idents —
+                // or a plain identifier starting with r/b.
+                lx.bump();
+                match (c, lx.peek()) {
+                    ('r', Some('"')) | ('r', Some('#')) if lx.raw_string() => TokKind::Str,
+                    ('b', Some('"')) => {
+                        lx.bump();
+                        lx.quoted_string();
+                        TokKind::Str
+                    }
+                    ('b', Some('\'')) => {
+                        lx.bump();
+                        lx.char_literal();
+                        TokKind::Char
+                    }
+                    ('b', Some('r'))
+                        if matches!(lx.peek_at(1), Some('"') | Some('#')) && {
+                            lx.bump();
+                            lx.raw_string()
+                        } =>
+                    {
+                        TokKind::Str
+                    }
+                    _ => {
+                        // `r#match` raw identifiers: consume the `#`.
+                        if lx.peek() == Some('#') && lx.peek_at(1).is_some_and(is_ident_start) {
+                            lx.bump();
+                        }
+                        lx.bump_while(is_ident_continue);
+                        TokKind::Ident
+                    }
+                }
+            }
+            '\'' => {
+                lx.bump();
+                match (lx.peek(), lx.peek_at(1)) {
+                    // `'a` lifetime vs `'a'` char: a lifetime's ident
+                    // run is not closed by a quote.
+                    (Some(n), after) if is_ident_start(n) && after != Some('\'') => {
+                        // Longer idents (`'outer`) need the full run
+                        // checked against a trailing quote.
+                        let rest = &lx.src[lx.pos..];
+                        let run = rest.chars().take_while(|&c| is_ident_continue(c)).count();
+                        let closes = rest.chars().nth(run) == Some('\'');
+                        if closes {
+                            lx.char_literal();
+                            TokKind::Char
+                        } else {
+                            lx.bump_while(is_ident_continue);
+                            TokKind::Lifetime
+                        }
+                    }
+                    _ => {
+                        lx.char_literal();
+                        TokKind::Char
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                lx.bump_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lx.bump();
+                lx.number();
+                TokKind::Num
+            }
+            _ => {
+                lx.bump();
+                TokKind::Punct
+            }
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: lx.pos,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_single_tokens() {
+        let src = "let x = \"HashMap\"; // Instant::now\n/* SystemTime */ y";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Str, "\"HashMap\"".into())));
+        assert!(ks.contains(&(TokKind::LineComment, "// Instant::now".into())));
+        assert!(ks.contains(&(TokKind::BlockComment, "/* SystemTime */".into())));
+        assert!(ks.contains(&(TokKind::Ident, "y".into())));
+        assert!(!ks.contains(&(TokKind::Ident, "HashMap".into())));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_guards() {
+        let src = "r#\"a \" inside\"# r\"plain\" br##\"x\"## b\"bytes\" r#match";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokKind::Str, "r#\"a \" inside\"#".into()));
+        assert_eq!(ks[1], (TokKind::Str, "r\"plain\"".into()));
+        assert_eq!(ks[2], (TokKind::Str, "br##\"x\"##".into()));
+        assert_eq!(ks[3], (TokKind::Str, "b\"bytes\"".into()));
+        assert_eq!(ks[4], (TokKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "&'a str 'x' '\\n' b'z' 'outer: loop {}";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(ks.contains(&(TokKind::Char, "'\\n'".into())));
+        assert!(ks.contains(&(TokKind::Char, "b'z'".into())));
+        assert!(ks.contains(&(TokKind::Lifetime, "'outer".into())));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_floats_and_exponents() {
+        let src = "1_000u64 0xff 1.5e-3 1..4 7.max(2)";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Num, "1_000u64".into())));
+        assert!(ks.contains(&(TokKind::Num, "0xff".into())));
+        assert!(ks.contains(&(TokKind::Num, "1.5e-3".into())));
+        assert!(ks.contains(&(TokKind::Num, "1".into())));
+        assert!(ks.contains(&(TokKind::Num, "7".into())));
+        assert!(ks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let src = "/* outer /* inner */ still */ code";
+        let ks = kinds(src);
+        assert_eq!(
+            ks[0],
+            (
+                TokKind::BlockComment,
+                "/* outer /* inner */ still */".into()
+            )
+        );
+        assert_eq!(ks[1], (TokKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace() {
+        let src = "fn main() { let s = \"x\"; } // done";
+        let toks = lex(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlap at {t:?}");
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "a\n  bb\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

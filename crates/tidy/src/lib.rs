@@ -1,51 +1,65 @@
-//! `grococa-tidy` — the workspace determinism linter.
+//! `grococa-tidy` — the workspace determinism linter, v2.
 //!
 //! Every figure this repository reproduces is verified by *byte
 //! comparison*: parallel sweeps against serial ones, the spatial grid
 //! against the brute-force oracle, fault-plan replays against goldens.
 //! Those checks prove determinism after the fact; this linter prevents
-//! the three classic ways of losing it from being reintroduced at all:
+//! the classic ways of losing it from being reintroduced at all.
 //!
-//! 1. **hash-order** — iterating `std`'s randomly-seeded hashed
-//!    collections in simulation crates (use `grococa_sim::{DetMap,
-//!    DetSet}` instead);
-//! 2. **wall-clock** — reading ambient time (`Instant::now`,
-//!    `SystemTime`) inside the simulator;
-//! 3. **ambient-rng** — constructing RNGs outside `sim-core`'s seeded
-//!    substreams.
+//! v2 replaced the per-line regex scanner with a real front end:
 //!
-//! Three hygiene rules ride along: **crate-hygiene** (crate roots must
-//! forbid `unsafe_code` and warn on `missing_docs`; no `dbg!`-family
-//! macros outside tests), **repo-hygiene** (golden files referenced
-//! by tests/CI exist; `CHANGES.md` keeps its one-line-per-PR shape),
-//! and **exit-discipline** (`std::process::exit` is banned outside
-//! `main.rs` — it skips destructors, including journal flushes, and
-//! scatters the exit-code taxonomy; bubble a status up and return an
-//! `ExitCode` instead).
+//! * [`lexer`] — a string/comment/raw-string-aware lexer, so a banned
+//!   name inside a string literal or comment can never fire (the v1
+//!   false-positive class);
+//! * [`items`] — item spanning: which tokens belong to which function,
+//!   which functions are methods of which type, what is test collateral;
+//! * [`reach`] — a workspace symbol map computing **sim-path
+//!   reachability**: the functions reachable from `Simulation::run`
+//!   (and, separately, from the per-event dispatcher
+//!   `Simulation::handle`), so rules apply to the actual hot path
+//!   rather than crate-name whitelists.
 //!
-//! Modeled on rustc's `tidy`: dependency-free, line-oriented, and fast.
-//! A finding can be suppressed where it is justified:
+//! The v1 determinism rules (**hash-order**, **wall-clock**,
+//! **ambient-rng**) and hygiene rules (**crate-hygiene**,
+//! **repo-hygiene**, **exit-discipline**) carry over token-aware. Four
+//! families are new in v2, scoped by reachability:
 //!
-//! ```text
-//! let t = Instant::now(); // tidy:allow(wall-clock): harness-side timing only
-//! ```
+//! * **send-readiness** — `Rc`/`RefCell`/`Cell`/raw pointers in
+//!   sim-path state block the sharded DES workers (ROADMAP item 2);
+//!   `--send-report` prints the migration work-list;
+//! * **panic-discipline** — `unwrap`/`expect`/`panic!`/unchecked
+//!   indexing on the sim path need a typed `SimError` or a justified
+//!   suppression;
+//! * **float-determinism** — NaN-capable comparisons
+//!   (`partial_cmp`, float sort keys) and libm-backed methods whose
+//!   results vary across platforms;
+//! * **alloc-hot-path** — allocation constructors inside the per-event
+//!   dispatch path (complementing the counting-allocator assertions).
 //!
-//! suppresses the named rule on that line, and
-//!
-//! ```text
-//! // tidy:allow-file(hash-order): this module *implements* DetMap
-//! ```
-//!
-//! suppresses it for the whole file. Both forms **require** a non-empty
-//! justification after the colon; a bare `tidy:allow(rule)` is itself
-//! reported as a `suppression` finding.
+//! Suppression is line-scoped and must be justified — a trailing
+//! comment of the form `// …allow(rule): why` (spelled with the
+//! `tidy:` prefix) suppresses that rule on its line, the `-file`
+//! variant for the whole file. Directives that no longer suppress
+//! anything are **unused-suppression** errors. Pre-existing findings
+//! are grandfathered by the [`baseline`] ratchet (`tidy.baseline`,
+//! budget may only shrink), and results ship as text, `--json` (with
+//! column spans and stable ids) or `--sarif` for CI annotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod items;
+pub mod lexer;
+pub mod reach;
+pub mod rules;
+pub mod sarif;
+
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use lexer::TokKind;
 
 /// Crates on the simulation path: everything that executes between a
 /// seed and a reported figure. The `hash-order` rule applies here.
@@ -64,6 +78,9 @@ pub const SIM_PATH_CRATES: &[&str] = &[
 /// sit *outside* the simulation (their timings are reported, never fed
 /// back into simulated behaviour).
 pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "cli", "tidy"];
+
+/// The baseline file's repo-relative path.
+pub const BASELINE_FILE: &str = "tidy.baseline";
 
 /// The rule registry: `(id, summary)` for every rule `tidy:allow(..)`
 /// may name.
@@ -93,8 +110,32 @@ pub const RULES: &[(&str, &str)] = &[
         "bare std::process::exit is banned outside main.rs; return an ExitCode instead",
     ),
     (
+        "send-readiness",
+        "Rc/RefCell/Cell/raw pointers in sim-path state block sharded DES workers",
+    ),
+    (
+        "panic-discipline",
+        "unwrap/expect/panic!/unchecked indexing on the sim path need a typed SimError or a justified suppression",
+    ),
+    (
+        "float-determinism",
+        "partial_cmp tie-breaks, NaN-capable sort keys, and libm-varying calls are banned on the sim path",
+    ),
+    (
+        "alloc-hot-path",
+        "allocation constructors are banned inside the per-event dispatch path",
+    ),
+    (
         "suppression",
         "tidy:allow directives must name a known rule and carry a justification",
+    ),
+    (
+        "unused-suppression",
+        "tidy:allow directives that no longer suppress anything must be removed",
+    ),
+    (
+        "baseline",
+        "the baseline must parse, match live findings, and stay within its budget",
     ),
 ];
 
@@ -107,16 +148,26 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
+    /// 1-based column of the offending token (0 for whole-file
+    /// findings).
+    pub col: usize,
+    /// The enclosing item (`Type::fn`, a type name, or `-`).
+    pub scope: String,
+    /// The matched token, e.g. `HashMap` or `Instant::now`.
+    pub token: String,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Stable 16-hex identity (see [`baseline`]); empty until
+    /// assigned.
+    pub id: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -126,16 +177,20 @@ impl Finding {
     /// newline). Hand-rolled so the linter stays dependency-free.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"scope\":\"{}\",\"token\":\"{}\",\"id\":\"{}\",\"message\":\"{}\"}}",
             json_escape(self.rule),
             json_escape(&self.path),
             self.line,
+            self.col,
+            json_escape(&self.scope),
+            json_escape(&self.token),
+            json_escape(&self.id),
             json_escape(&self.message)
         )
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -150,64 +205,40 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Is `haystack` containing `token` as a whole word at some position?
-/// "Word" characters are `[A-Za-z0-9_]`; the token itself may contain
-/// punctuation (e.g. `Instant::now`), in which case only its ends are
-/// boundary-checked.
-fn has_token(haystack: &str, token: &str) -> bool {
-    let bytes = haystack.as_bytes();
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(token) {
-        let start = from + pos;
-        let end = start + token.len();
-        let left_ok = start == 0 || !is_word(bytes[start - 1]);
-        let right_ok = end >= bytes.len() || !is_word(bytes[end]);
-        if left_ok && right_ok {
-            return true;
-        }
-        from = start + 1;
-    }
-    false
-}
-
-/// A parsed `tidy:allow` / `tidy:allow-file` directive.
+/// A parsed `…allow` / `…allow-file` directive, located.
 struct Directive {
     rule: String,
+    line: usize,
     justified: bool,
     whole_file: bool,
+    used: bool,
 }
 
-/// Parses every directive on `line` (usually zero or one).
-fn parse_directives(line: &str) -> Vec<Directive> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find("tidy:allow") {
-        let start = from + pos;
-        let rest = &line[start + "tidy:allow".len()..];
-        let (whole_file, rest) = match rest.strip_prefix("-file") {
-            Some(r) => (true, r),
-            None => (false, rest),
-        };
-        let Some(rest) = rest.strip_prefix('(') else {
-            from = start + 1;
-            continue;
-        };
-        let Some(close) = rest.find(')') else {
-            from = start + 1;
-            continue;
-        };
-        let rule = rest[..close].trim().to_string();
-        let after = &rest[close + 1..];
-        let justified = matches!(after.strip_prefix(':'), Some(j) if !j.trim().is_empty());
-        out.push(Directive {
-            rule,
-            justified,
-            whole_file,
-        });
-        from = start + 1;
+/// Parses directives out of one comment's content (after the opener
+/// has been stripped). A directive is only recognized when the comment
+/// *starts* with it — prose that merely mentions the syntax (docs,
+/// examples) does not count.
+fn parse_directive(content: &str) -> Option<(String, bool, bool)> {
+    let rest = content.trim_start().strip_prefix("tidy:allow")?;
+    let (whole_file, rest) = match rest.strip_prefix("-file") {
+        Some(r) => (true, r),
+        None => (false, rest),
+    };
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let justified = matches!(after.strip_prefix(':'), Some(j) if !j.trim().is_empty());
+    Some((rule, justified, whole_file))
+}
+
+/// Strips a line comment's opener: `//`, then at most one `/` or `!`.
+fn comment_content(text: &str) -> &str {
+    let rest = text.strip_prefix("//").unwrap_or(text);
+    match rest.as_bytes().first() {
+        Some(b'/') | Some(b'!') => &rest[1..],
+        _ => rest,
     }
-    out
 }
 
 /// Which workspace crate does a repo-relative path belong to?
@@ -239,184 +270,188 @@ fn is_crate_root(rel_path: &str) -> bool {
     }
 }
 
-const HASH_ORDER_TOKENS: &[&str] = &["HashMap", "HashSet"];
-const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
-const AMBIENT_RNG_TOKENS: &[&str] = &[
-    "thread_rng",
-    "from_entropy",
-    "from_os_rng",
-    "seed_from_u64",
-    "SmallRng",
-    "StdRng",
-    "OsRng",
-];
-const BANNED_MACRO_TOKENS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
+/// One source file handed to [`analyze_sources`].
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (drives crate
+    /// classification and rule scoping).
+    pub path: String,
+    /// The file's contents.
+    pub src: String,
+}
 
-/// Lints one source file's content. `rel_path` is the repo-relative
-/// path with forward slashes; it determines which rules apply (crate
-/// classification, test context).
+/// Lints a set of source files as one workspace: lexes and spans each
+/// file, computes sim-path reachability across all of them, runs every
+/// rule, applies (and audits) suppressions, and assigns stable ids.
 ///
-/// This is the unit the fixture tests drive directly: they pass
-/// synthetic paths like `crates/cache/src/sample.rs` to pick the rule
-/// set under test.
-pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+/// This is the unit the fixture tests drive: a fixture that needs
+/// reachability-scoped rules simply defines its own
+/// `impl Simulation { fn run … }` scaffolding.
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
+    struct Prepared {
+        toks: Vec<lexer::Tok>,
+        items: items::FileItems,
+    }
+    let prepared: Vec<Prepared> = files
+        .iter()
+        .map(|f| {
+            let toks = lexer::lex(&f.src);
+            let items = items::scan_items(&f.src, &toks);
+            Prepared { toks, items }
+        })
+        .collect();
+    let refs: Vec<reach::FileRef<'_>> = files
+        .iter()
+        .zip(&prepared)
+        .map(|(f, p)| reach::FileRef {
+            path: &f.path,
+            src: &f.src,
+            toks: &p.toks,
+            items: &p.items,
+            in_sim_universe: crate_of(&f.path).is_some_and(|c| SIM_PATH_CRATES.contains(&c)),
+        })
+        .collect();
+    let reach = reach::compute(&refs);
+
     let mut findings = Vec::new();
-    let krate = crate_of(rel_path);
+    for (fi, (f, p)) in files.iter().zip(&prepared).enumerate() {
+        let krate = crate_of(&f.path);
+        let ctx = rules::FileCtx {
+            path: &f.path,
+            src: &f.src,
+            toks: &p.toks,
+            items: &p.items,
+            fi,
+            sim_crate: krate.is_some_and(|c| SIM_PATH_CRATES.contains(&c)),
+            wall_clock_exempt: krate.is_some_and(|c| WALL_CLOCK_EXEMPT_CRATES.contains(&c)),
+            rng_home: f.path == "crates/sim-core/src/rng.rs",
+            is_main: f.path.ends_with("/main.rs") || f.path == "src/main.rs",
+            is_test_file: path_is_test(&f.path),
+        };
+        let mut raw = Vec::new();
+        rules::scan_file(&ctx, &reach, &mut raw);
 
-    // The linter's own sources name every banned token (rule tables,
-    // fixtures-by-construction), so content rules skip it; the
-    // crate-root pragma check below still applies.
-    let self_exempt = krate == Some("tidy");
-
-    let sim_path = krate.is_some_and(|c| SIM_PATH_CRATES.contains(&c));
-    let wall_clock_exempt = krate.is_some_and(|c| WALL_CLOCK_EXEMPT_CRATES.contains(&c));
-    let rng_home = rel_path == "crates/sim-core/src/rng.rs";
-    let file_is_test = path_is_test(rel_path);
-    // `main.rs` owns process exit: everywhere else a status must travel
-    // up the call stack so destructors (journal flushes!) still run.
-    let is_main = rel_path.ends_with("/main.rs") || rel_path == "src/main.rs";
-
-    // Pass 1: file-level suppressions (and their well-formedness). The
-    // self-exempt linter sources mention directives in prose and tests,
-    // so they are not parsed there.
-    let mut allow_file: Vec<String> = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        if self_exempt {
-            break;
+        // Crate-root pragma check: exact-line textual, because the
+        // requirement is about the file's head shape, not a token.
+        if is_crate_root(&f.path) {
+            for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+                if !f.src.lines().any(|l| l.trim() == pragma) {
+                    raw.push(Finding {
+                        rule: "crate-hygiene",
+                        path: f.path.clone(),
+                        line: 0,
+                        col: 0,
+                        scope: "-".to_string(),
+                        token: pragma.to_string(),
+                        message: format!("crate root is missing `{pragma}`"),
+                        id: String::new(),
+                    });
+                }
+            }
         }
-        for d in parse_directives(line) {
-            let known = RULES.iter().any(|(id, _)| *id == d.rule);
+
+        // Directives: collected from line comments only, and only when
+        // the comment starts with one.
+        let mut directives: Vec<Directive> = Vec::new();
+        for t in &p.toks {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let Some((rule, justified, whole_file)) =
+                parse_directive(comment_content(t.text(&f.src)))
+            else {
+                continue;
+            };
+            let known = RULES.iter().any(|(id, _)| *id == rule);
             if !known {
                 findings.push(Finding {
                     rule: "suppression",
-                    path: rel_path.to_string(),
-                    line: idx + 1,
-                    message: format!("tidy:allow names unknown rule `{}`", d.rule),
+                    path: f.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    scope: "-".to_string(),
+                    token: rule.clone(),
+                    message: format!("directive names unknown rule `{rule}`"),
+                    id: String::new(),
                 });
-            } else if !d.justified {
+            } else if !justified {
                 findings.push(Finding {
                     rule: "suppression",
-                    path: rel_path.to_string(),
-                    line: idx + 1,
+                    path: f.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    scope: "-".to_string(),
+                    token: rule.clone(),
                     message: format!(
-                        "suppression of `{}` lacks a justification (`tidy:allow({}): <why>`)",
-                        d.rule, d.rule
+                        "suppression of `{rule}` lacks a justification (append `: <why>`)"
                     ),
+                    id: String::new(),
                 });
-            } else if d.whole_file {
-                allow_file.push(d.rule);
+            } else {
+                directives.push(Directive {
+                    rule,
+                    line: t.line,
+                    justified,
+                    whole_file,
+                    used: false,
+                });
             }
         }
-    }
 
-    // Pass 2: line rules. Once a `#[cfg(test)]` attribute appears the
-    // rest of the file is treated as test context (the workspace
-    // convention keeps test modules at the bottom of the file).
-    let mut in_cfg_test = false;
-    for (idx, line) in source.lines().enumerate() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_cfg_test = true;
-        }
-        let in_test = file_is_test || in_cfg_test;
-        if self_exempt {
-            continue;
-        }
-        let allowed = |rule: &str| {
-            allow_file.iter().any(|r| r == rule)
-                || parse_directives(line)
-                    .iter()
-                    .any(|d| d.rule == rule && d.justified)
-        };
-
-        if sim_path {
-            for tok in HASH_ORDER_TOKENS {
-                if has_token(line, tok) && !allowed("hash-order") {
-                    findings.push(Finding {
-                        rule: "hash-order",
-                        path: rel_path.to_string(),
-                        line: idx + 1,
-                        message: format!(
-                            "`{tok}` iterates in hash order (a replay hazard); use \
-                             grococa_sim::DetMap/DetSet or justify with tidy:allow"
-                        ),
-                    });
+        // Suppression filtering: whole-file directives absorb every
+        // finding of their rule; line directives absorb same-line
+        // findings. Whole-file findings (line 0) are not suppressible.
+        for finding in raw {
+            let mut suppressed = false;
+            if finding.line > 0 {
+                for d in &mut directives {
+                    if d.justified
+                        && d.rule == finding.rule
+                        && (d.whole_file || d.line == finding.line)
+                    {
+                        d.used = true;
+                        suppressed = true;
+                    }
                 }
             }
-        }
-
-        if !wall_clock_exempt {
-            for tok in WALL_CLOCK_TOKENS {
-                if has_token(line, tok) && !allowed("wall-clock") {
-                    findings.push(Finding {
-                        rule: "wall-clock",
-                        path: rel_path.to_string(),
-                        line: idx + 1,
-                        message: format!(
-                            "`{tok}` reads ambient time inside the simulation path; thread \
-                             elapsed-time measurement in from a harness crate"
-                        ),
-                    });
-                }
+            if !suppressed {
+                findings.push(finding);
             }
         }
 
-        if !rng_home {
-            for tok in AMBIENT_RNG_TOKENS {
-                if has_token(line, tok) && !allowed("ambient-rng") {
-                    findings.push(Finding {
-                        rule: "ambient-rng",
-                        path: rel_path.to_string(),
-                        line: idx + 1,
-                        message: format!(
-                            "`{tok}` constructs an RNG outside sim-core's seeded substreams; \
-                             derive a stream via grococa_sim::SimRng instead"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if !in_test {
-            for tok in BANNED_MACRO_TOKENS {
-                if line.contains(tok) && !allowed("crate-hygiene") {
-                    findings.push(Finding {
-                        rule: "crate-hygiene",
-                        path: rel_path.to_string(),
-                        line: idx + 1,
-                        message: format!("`{}` must not ship outside tests", &tok[..tok.len() - 1]),
-                    });
-                }
-            }
-        }
-
-        if !is_main && !in_test && has_token(line, "process::exit") && !allowed("exit-discipline") {
-            findings.push(Finding {
-                rule: "exit-discipline",
-                path: rel_path.to_string(),
-                line: idx + 1,
-                message: "`process::exit` outside main.rs skips destructors (journal \
-                          flushes included) and hides the exit code; return a status \
-                          up to main or justify with tidy:allow"
-                    .to_string(),
-            });
-        }
-    }
-
-    // Crate-root pragma check (applies to every crate, tidy included).
-    if is_crate_root(rel_path) {
-        for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-            if !source.lines().any(|l| l.trim() == pragma) {
+        // A justified directive that suppressed nothing is dead weight
+        // that would silently mask a future regression's fix.
+        for d in &directives {
+            if !d.used {
                 findings.push(Finding {
-                    rule: "crate-hygiene",
-                    path: rel_path.to_string(),
-                    line: 0,
-                    message: format!("crate root is missing `{pragma}`"),
+                    rule: "unused-suppression",
+                    path: f.path.clone(),
+                    line: d.line,
+                    col: 0,
+                    scope: "-".to_string(),
+                    token: d.rule.clone(),
+                    message: format!(
+                        "directive for `{}` suppresses nothing; remove it (line-scoped \
+                         directives only match findings on their own line)",
+                        d.rule
+                    ),
+                    id: String::new(),
                 });
             }
         }
     }
 
+    baseline::assign_ids(&mut findings);
     findings
+}
+
+/// Lints one source file's content in isolation. `rel_path` is the
+/// repo-relative path with forward slashes; it determines which rules
+/// apply (crate classification, test context).
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    analyze_sources(&[SourceFile {
+        path: rel_path.to_string(),
+        src: source.to_string(),
+    }])
 }
 
 /// Repo-level checks: referenced golden files exist, `CHANGES.md` keeps
@@ -440,6 +475,7 @@ pub fn check_repo(root: &Path) -> Vec<Finding> {
         }
     }
     collect_files(&root.join(".github/workflows"), "yml", &mut referencing);
+    referencing.sort();
     for file in referencing {
         let Ok(content) = fs::read_to_string(&file) else {
             continue;
@@ -455,7 +491,11 @@ pub fn check_repo(root: &Path) -> Vec<Finding> {
                         rule: "repo-hygiene",
                         path: rel.clone(),
                         line: idx + 1,
+                        col: 0,
+                        scope: "-".to_string(),
+                        token: token.clone(),
                         message: format!("referenced golden file `{token}` does not exist"),
+                        id: String::new(),
                     });
                 }
             }
@@ -464,6 +504,7 @@ pub fn check_repo(root: &Path) -> Vec<Finding> {
 
     // CHANGES.md: present, non-empty, one `PR <n>: ...` line per entry.
     findings.extend(check_changes_file(&root.join("CHANGES.md"), root));
+    baseline::assign_ids(&mut findings);
     findings
 }
 
@@ -471,13 +512,21 @@ pub fn check_repo(root: &Path) -> Vec<Finding> {
 /// can exercise it against synthetic files).
 pub fn check_changes_file(path: &Path, root: &Path) -> Vec<Finding> {
     let rel = rel_to(root, path);
+    let mk = |line: usize, message: String| Finding {
+        rule: "repo-hygiene",
+        path: rel.clone(),
+        line,
+        col: 0,
+        scope: "-".to_string(),
+        token: "CHANGES.md".to_string(),
+        message,
+        id: String::new(),
+    };
     let Ok(content) = fs::read_to_string(path) else {
-        return vec![Finding {
-            rule: "repo-hygiene",
-            path: rel,
-            line: 0,
-            message: "CHANGES.md is missing: every PR must append a one-line entry".to_string(),
-        }];
+        return vec![mk(
+            0,
+            "CHANGES.md is missing: every PR must append a one-line entry".to_string(),
+        )];
     };
     let mut findings = Vec::new();
     let mut entries = 0usize;
@@ -492,21 +541,17 @@ pub fn check_changes_file(path: &Path, root: &Path) -> Vec<Finding> {
         if well_formed {
             entries += 1;
         } else {
-            findings.push(Finding {
-                rule: "repo-hygiene",
-                path: rel.clone(),
-                line: idx + 1,
-                message: "CHANGES.md lines must look like `PR <n>: <summary>`".to_string(),
-            });
+            findings.push(mk(
+                idx + 1,
+                "CHANGES.md lines must look like `PR <n>: <summary>`".to_string(),
+            ));
         }
     }
     if entries == 0 {
-        findings.push(Finding {
-            rule: "repo-hygiene",
-            path: rel,
-            line: 0,
-            message: "CHANGES.md has no `PR <n>: <summary>` entries".to_string(),
-        });
+        findings.push(mk(
+            0,
+            "CHANGES.md has no `PR <n>: <summary>` entries".to_string(),
+        ));
     }
     findings
 }
@@ -546,10 +591,9 @@ fn collect_files(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) {
 const SKIP_DIRS: &[&str] = &["target", ".git", "vendor"];
 const SKIP_PREFIXES: &[&str] = &["crates/tidy/tests/fixtures"];
 
-/// Walks the workspace at `root` and returns every finding, sorted by
-/// path then line for stable output.
-pub fn check_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
+/// Reads every lintable `.rs` file under `root`, sorted by path.
+pub fn load_workspace_sources(root: &Path) -> Vec<SourceFile> {
+    let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         let Ok(entries) = fs::read_dir(&dir) else {
@@ -569,15 +613,114 @@ pub fn check_workspace(root: &Path) -> Vec<Finding> {
                 }
                 stack.push(p);
             } else if p.extension().is_some_and(|ext| ext == "rs") {
-                if let Ok(content) = fs::read_to_string(&p) {
-                    findings.extend(scan_source(&rel, &content));
+                if let Ok(src) = fs::read_to_string(&p) {
+                    files.push(SourceFile { path: rel, src });
                 }
             }
         }
     }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    files
+}
+
+/// Walks the workspace at `root` and returns every *raw* finding (no
+/// baseline applied), sorted by path/line/column for stable output.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let files = load_workspace_sources(root);
+    let mut findings = analyze_sources(&files);
     findings.extend(check_repo(root));
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+/// The outcome of a baseline-gated workspace check.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Findings that fail the run.
+    pub errors: Vec<Finding>,
+    /// How many raw findings the baseline absorbed.
+    pub grandfathered: usize,
+    /// All raw findings (pre-baseline) — what `--write-baseline` and
+    /// `--send-report` consume.
+    pub raw: Vec<Finding>,
+}
+
+/// Walks the workspace and gates the findings against `root/tidy.baseline`
+/// (a missing baseline file gates against an empty one: everything
+/// errors).
+pub fn check_workspace_gated(root: &Path) -> GateOutcome {
+    let raw = check_workspace(root);
+    let bl_path = root.join(BASELINE_FILE);
+    let bl = match fs::read_to_string(&bl_path) {
+        Ok(text) => match baseline::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                let mut errors = vec![Finding {
+                    rule: "baseline",
+                    path: BASELINE_FILE.to_string(),
+                    line: 0,
+                    col: 0,
+                    scope: "-".to_string(),
+                    token: "parse".to_string(),
+                    message: format!("tidy.baseline is malformed: {e}"),
+                    id: String::new(),
+                }];
+                errors.extend(raw.iter().cloned());
+                return GateOutcome {
+                    errors,
+                    grandfathered: 0,
+                    raw,
+                };
+            }
+        },
+        Err(_) => baseline::Baseline {
+            budget: 0,
+            entries: Vec::new(),
+        },
+    };
+    let applied = bl.apply(raw.clone(), BASELINE_FILE);
+    let mut errors = applied.errors;
+    errors.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    GateOutcome {
+        errors,
+        grandfathered: applied.grandfathered,
+        raw,
+    }
+}
+
+/// The migration work-list toward sharded DES workers (ROADMAP item 2):
+/// every sim-path location still holding non-`Send` state, grouped by
+/// enclosing item.
+pub fn send_report(raw: &[Finding]) -> String {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String), BTreeMap<String, usize>> = BTreeMap::new();
+    for f in raw.iter().filter(|f| f.rule == "send-readiness") {
+        *groups
+            .entry((f.path.clone(), f.scope.clone()))
+            .or_default()
+            .entry(f.token.clone())
+            .or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("send-readiness migration report (work-list for sharded DES workers)\n");
+    if groups.is_empty() {
+        out.push_str("no non-Send sim-path state: shard workers are unblocked\n");
+        return out;
+    }
+    let total: usize = groups.values().flat_map(|m| m.values()).sum();
+    out.push_str(&format!(
+        "{total} non-Send mention(s) across {} sim-path item(s):\n",
+        groups.len()
+    ));
+    for ((path, scope), tokens) in &groups {
+        let toks: Vec<String> = tokens
+            .iter()
+            .map(|(t, n)| format!("{t}\u{00d7}{n}"))
+            .collect();
+        out.push_str(&format!("  {scope} ({path}): {}\n", toks.join(", ")));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -585,30 +728,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn token_matching_respects_word_boundaries() {
-        assert!(has_token("use std::collections::HashMap;", "HashMap"));
-        assert!(!has_token("let MyHashMapLike = 1;", "HashMap"));
-        assert!(has_token("a HashMap<K,V> b", "HashMap"));
-        assert!(has_token("std::time::Instant::now()", "Instant::now"));
-        assert!(!has_token("xInstant::nowy", "Instant::now"));
+    fn directive_parsing() {
+        let d = parse_directive(" tidy:allow(hash-order): index only").unwrap();
+        assert_eq!(d, ("hash-order".to_string(), true, false));
+
+        let d = parse_directive(" tidy:allow-file(ambient-rng): fixture").unwrap();
+        assert!(d.2);
+
+        let d = parse_directive(" tidy:allow(wall-clock)").unwrap();
+        assert!(!d.1);
+
+        let d = parse_directive(" tidy:allow(wall-clock):   ").unwrap();
+        assert!(!d.1);
+
+        // Prose mentioning the syntax mid-comment is not a directive.
+        assert!(parse_directive(" see tidy:allow(wall-clock): docs").is_none());
     }
 
     #[test]
-    fn directive_parsing() {
-        let d = parse_directives("x // tidy:allow(hash-order): index only");
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "hash-order");
-        assert!(d[0].justified);
-        assert!(!d[0].whole_file);
-
-        let d = parse_directives("// tidy:allow-file(ambient-rng): fixture");
-        assert!(d[0].whole_file);
-
-        let d = parse_directives("// tidy:allow(wall-clock)");
-        assert!(!d[0].justified);
-
-        let d = parse_directives("// tidy:allow(wall-clock):   ");
-        assert!(!d[0].justified);
+    fn comment_openers_are_stripped_once() {
+        assert_eq!(comment_content("// tidy:allow(x): y"), " tidy:allow(x): y");
+        assert_eq!(comment_content("//! header"), " header");
+        assert_eq!(comment_content("/// doc"), " doc");
+        // A doc comment *quoting* a directive keeps its inner `//`, so
+        // it will not parse as one.
+        assert_eq!(
+            comment_content("//! // tidy:allow(x): y"),
+            " // tidy:allow(x): y"
+        );
     }
 
     #[test]
@@ -629,16 +776,43 @@ mod tests {
     }
 
     #[test]
-    fn json_output_escapes() {
+    fn json_output_escapes_and_carries_spans() {
         let f = Finding {
             rule: "hash-order",
             path: "a\"b.rs".to_string(),
             line: 3,
+            col: 9,
+            scope: "S::f".to_string(),
+            token: "HashMap".to_string(),
             message: "x\\y".to_string(),
+            id: "00000000000000ff".to_string(),
         };
         assert_eq!(
             f.to_json(),
-            "{\"rule\":\"hash-order\",\"path\":\"a\\\"b.rs\",\"line\":3,\"message\":\"x\\\\y\"}"
+            "{\"rule\":\"hash-order\",\"path\":\"a\\\"b.rs\",\"line\":3,\"col\":9,\
+             \"scope\":\"S::f\",\"token\":\"HashMap\",\"id\":\"00000000000000ff\",\
+             \"message\":\"x\\\\y\"}"
         );
+    }
+
+    #[test]
+    fn send_report_groups_by_item() {
+        let mut raw = vec![
+            Finding {
+                rule: "send-readiness",
+                path: "crates/core/src/sim.rs".to_string(),
+                line: 1,
+                col: 1,
+                scope: "Ev".to_string(),
+                token: "Rc".to_string(),
+                message: String::new(),
+                id: String::new(),
+            };
+            3
+        ];
+        raw[2].scope = "Simulation::handle".to_string();
+        let report = send_report(&raw);
+        assert!(report.contains("3 non-Send mention(s) across 2 sim-path item(s)"));
+        assert!(report.contains("Ev (crates/core/src/sim.rs): Rc\u{00d7}2"));
     }
 }

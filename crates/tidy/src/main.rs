@@ -1,13 +1,8 @@
 //! The `grococa-tidy` command-line entry point.
 //!
-//! ```text
-//! grococa-tidy [--root <dir>] [--json] [--list-rules]
-//! ```
-//!
-//! Walks the workspace (found by searching upward from the current
-//! directory unless `--root` is given), prints every finding, and exits
-//! non-zero if there are any — which is what makes the determinism
-//! invariants CI-enforced rather than conventional.
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. The
+//! default mode walks the workspace and gates findings against
+//! `tidy.baseline`; see `--help` for the other modes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,7 +10,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use grococa_tidy::{check_workspace, RULES};
+use grococa_tidy::baseline::{Baseline, UNBASELINEABLE};
+use grococa_tidy::{
+    check_workspace, check_workspace_gated, sarif, send_report, BASELINE_FILE, RULES,
+};
+
+const USAGE: &str = "\
+grococa-tidy — workspace determinism linter (v2: token-aware, reachability-scoped)
+
+usage: grococa-tidy [--root <dir>] [--json] [--sarif <file>]
+                    [--no-baseline | --write-baseline | --send-report | --list-rules]
+
+modes (default: baseline-gated check of the workspace):
+    --no-baseline      report every raw finding, ignoring tidy.baseline
+    --write-baseline   regenerate tidy.baseline from current findings
+                       (refuses to raise the budget: the ratchet only shrinks)
+    --send-report      print the send-readiness migration work-list
+    --list-rules       print the rule registry
+
+output:
+    --json             one JSON object per finding (line, col, stable id)
+    --sarif <file>     also write SARIF 2.1.0 for CI annotation";
 
 /// Searches upward from `start` for the workspace root (the directory
 /// whose `Cargo.toml` declares `[workspace]`).
@@ -37,6 +52,10 @@ fn find_root(start: PathBuf) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut report_send = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,14 +67,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --sarif requires a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--send-report" => report_send = true,
             "--list-rules" => {
                 for (id, summary) in RULES {
-                    println!("{id:14} {summary}");
+                    println!("{id:18} {summary}");
                 }
                 return ExitCode::SUCCESS;
             }
             "-h" | "--help" => {
-                println!("usage: grococa-tidy [--root <dir>] [--json] [--list-rules]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -73,13 +102,72 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = check_workspace(&root);
+    if report_send {
+        let raw = check_workspace(&root);
+        print!("{}", send_report(&raw));
+        return ExitCode::SUCCESS;
+    }
+
+    if write_baseline {
+        let raw = check_workspace(&root);
+        let keep: Vec<_> = raw
+            .iter()
+            .filter(|f| !UNBASELINEABLE.contains(&f.rule))
+            .collect();
+        let unbaselineable = raw.len() - keep.len();
+        let bl_path = root.join(BASELINE_FILE);
+        let old_budget = std::fs::read_to_string(&bl_path)
+            .ok()
+            .and_then(|t| Baseline::parse(&t).ok())
+            .map(|b| b.budget);
+        if let Some(old) = old_budget {
+            if keep.len() > old {
+                eprintln!(
+                    "error: refusing to write baseline: {} findings exceed the current \
+                     budget of {old} (the ratchet only shrinks; fix or suppress first)",
+                    keep.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let budget = keep.len();
+        if let Err(e) = std::fs::write(&bl_path, Baseline::render(&keep, budget)) {
+            eprintln!("error: write {}: {e}", bl_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {} ({budget} entries)", bl_path.display());
+        if unbaselineable > 0 {
+            eprintln!(
+                "note: {unbaselineable} finding(s) are never baselined \
+                 (suppression/baseline/repo-hygiene) and still fail the default check"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, grandfathered) = if no_baseline {
+        (check_workspace(&root), 0)
+    } else {
+        let outcome = check_workspace_gated(&root);
+        (outcome.errors, outcome.grandfathered)
+    };
+
+    if let Some(p) = &sarif_path {
+        if let Err(e) = std::fs::write(p, sarif::render(&findings)) {
+            eprintln!("error: write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
     for f in &findings {
         if json {
             println!("{}", f.to_json());
         } else {
             println!("{f}");
         }
+    }
+    if grandfathered > 0 {
+        eprintln!("tidy: {grandfathered} finding(s) grandfathered by {BASELINE_FILE}");
     }
     if findings.is_empty() {
         eprintln!("tidy: clean ({} rules)", RULES.len());

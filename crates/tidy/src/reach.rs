@@ -1,0 +1,379 @@
+//! Sim-path reachability: which functions can run under
+//! `Simulation::run`, and which types make up sim-path state.
+//!
+//! The map is a heuristic, name-based call graph: calls are extracted
+//! from token streams as `Type::name(…)` (qualified), `.name(…)`
+//! (method) and `name(…)` (free), and resolved against every function
+//! the workspace defines. Same-name methods on unrelated types
+//! over-approximate the true graph — acceptable for a linter, where
+//! the cost of over-approximation is at worst a justified suppression,
+//! while under-approximation would silently exempt hot-path code.
+//!
+//! Two closures are computed: the **sim path** (everything reachable
+//! from `Simulation::run` / `run_inspect` / `try_run_inspect`), which
+//! scopes the `panic-discipline`, `float-determinism` and
+//! `send-readiness` rules, and the **hot path** (reachable from
+//! `Simulation::handle`, the per-event dispatcher), which scopes
+//! `alloc-hot-path`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::items::FileItems;
+use crate::lexer::{Tok, TokKind};
+
+/// The type owning the sim entry points.
+pub const ROOT_TYPE: &str = "Simulation";
+/// Sim-path roots: the public run entry points.
+pub const SIM_ROOTS: [&str; 3] = ["run", "run_inspect", "try_run_inspect"];
+/// Hot-path root: the per-event dispatcher.
+pub const HOT_ROOTS: [&str; 1] = ["handle"];
+
+/// One analyzed file, borrowed from the orchestrator.
+pub struct FileRef<'a> {
+    /// Repo-relative path with forward slashes.
+    pub path: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Full token stream of `src`.
+    pub toks: &'a [Tok],
+    /// Item structure of the token stream.
+    pub items: &'a FileItems,
+    /// Whether this file's functions may be call-resolution targets.
+    /// The orchestrator sets this for sim-path crates only: name-based
+    /// method resolution (`.push(…)` matching any `push`) would
+    /// otherwise drag harness and tooling crates into the closure.
+    pub in_sim_universe: bool,
+}
+
+/// A function's global identity: (file index, index into that file's
+/// `items.fns`).
+pub type FnId = (usize, usize);
+
+/// The computed reachability closures.
+#[derive(Debug, Default)]
+pub struct Reach {
+    /// Functions reachable from the sim roots.
+    pub sim_fns: BTreeSet<FnId>,
+    /// Functions reachable from the hot root (subset of interest for
+    /// `alloc-hot-path`).
+    pub hot_fns: BTreeSet<FnId>,
+    /// Names of workspace types that constitute sim-path state:
+    /// `impl` targets of reachable methods plus types their
+    /// definitions and the reachable bodies mention, to a fixpoint.
+    pub sim_types: BTreeSet<String>,
+}
+
+impl Reach {
+    /// Whether `id` is on the sim path.
+    pub fn on_sim_path(&self, id: FnId) -> bool {
+        self.sim_fns.contains(&id)
+    }
+
+    /// Whether `id` is on the per-event hot path.
+    pub fn on_hot_path(&self, id: FnId) -> bool {
+        self.hot_fns.contains(&id)
+    }
+}
+
+#[derive(Debug)]
+enum Call {
+    /// `Type::name(…)` — `Self` already resolved to the impl type.
+    Qualified(String, String),
+    /// `self.name(…)`: resolved against the enclosing impl type
+    /// first, falling back to any same-named method.
+    SelfMethod(Option<String>, String),
+    /// `.name(…)` on an arbitrary receiver.
+    Method(String),
+    /// `name(…)`.
+    Bare(String),
+}
+
+/// Keywords and constructors that look like bare calls but are not.
+const NOT_CALLS: [&str; 12] = [
+    "if", "match", "while", "for", "loop", "return", "let", "fn", "as", "Some", "Ok", "Err",
+];
+
+/// Extracts the calls made inside the token range `[lo, hi]` of a
+/// file, with `Self::` resolved against `self_type`.
+fn calls_in(file: &FileRef<'_>, lo: usize, hi: usize, self_type: Option<&str>) -> Vec<Call> {
+    let code: Vec<usize> = (lo..=hi.min(file.toks.len().saturating_sub(1)))
+        .filter(|&i| !file.toks[i].is_comment())
+        .collect();
+    let text = |k: usize| file.toks[code[k]].text(file.src);
+    let kind = |k: usize| file.toks[code[k]].kind;
+    let mut out = Vec::new();
+    for k in 0..code.len() {
+        if kind(k) != TokKind::Ident {
+            continue;
+        }
+        // A call site is `ident (` — `ident !` is a macro invocation
+        // and `fn ident (` is a definition.
+        if k + 1 >= code.len() || kind(k + 1) != TokKind::Punct || !text(k + 1).starts_with('(') {
+            continue;
+        }
+        if k > 0 && kind(k - 1) == TokKind::Ident && text(k - 1) == "fn" {
+            continue;
+        }
+        let name = text(k).to_string();
+        let prev_is = |off: usize, c: char| {
+            k >= off && kind(k - off) == TokKind::Punct && text(k - off).starts_with(c)
+        };
+        if prev_is(1, '.') {
+            if k >= 2 && kind(k - 2) == TokKind::Ident && text(k - 2) == "self" {
+                out.push(Call::SelfMethod(self_type.map(str::to_string), name));
+            } else {
+                out.push(Call::Method(name));
+            }
+        } else if prev_is(1, ':') && prev_is(2, ':') && k >= 3 && kind(k - 3) == TokKind::Ident {
+            let ty = text(k - 3);
+            let ty = if ty == "Self" {
+                match self_type {
+                    Some(t) => t.to_string(),
+                    None => continue,
+                }
+            } else {
+                ty.to_string()
+            };
+            out.push(Call::Qualified(ty, name));
+        } else if !NOT_CALLS.contains(&name.as_str()) {
+            out.push(Call::Bare(name));
+        }
+    }
+    out
+}
+
+/// Computes both reachability closures over the workspace.
+pub fn compute(files: &[FileRef<'_>]) -> Reach {
+    // Resolution indices over non-test function definitions.
+    let mut by_qual: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+    let mut by_method: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+    let mut by_free: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !file.in_sim_universe {
+            continue;
+        }
+        for (ii, f) in file.items.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            match &f.impl_type {
+                Some(t) => {
+                    by_qual
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push((fi, ii));
+                    by_method.entry(f.name.clone()).or_default().push((fi, ii));
+                }
+                None => by_free.entry(f.name.clone()).or_default().push((fi, ii)),
+            }
+        }
+    }
+
+    let closure = |root_names: &[&str]| -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = BTreeSet::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for name in root_names {
+            if let Some(ids) = by_qual.get(&(ROOT_TYPE.to_string(), (*name).to_string())) {
+                for &id in ids {
+                    if seen.insert(id) {
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+        while let Some((fi, ii)) = queue.pop_front() {
+            let file = &files[fi];
+            let f = &file.items.fns[ii];
+            let Some((blo, bhi)) = f.body else { continue };
+            for call in calls_in(file, blo, bhi, f.impl_type.as_deref()) {
+                let targets: Vec<FnId> = match &call {
+                    Call::Qualified(t, n) => by_qual
+                        .get(&(t.clone(), n.clone()))
+                        .cloned()
+                        .unwrap_or_default(),
+                    Call::SelfMethod(t, n) => {
+                        // `self.name(…)`: the enclosing impl's own
+                        // method when it has one — only fall back to
+                        // the any-type method index otherwise.
+                        let own = t
+                            .as_ref()
+                            .and_then(|t| by_qual.get(&(t.clone(), n.clone())))
+                            .cloned();
+                        match own {
+                            Some(ids) => ids,
+                            None => by_method.get(n).cloned().unwrap_or_default(),
+                        }
+                    }
+                    Call::Method(n) => by_method.get(n).cloned().unwrap_or_default(),
+                    Call::Bare(n) => by_free.get(n).cloned().unwrap_or_default(),
+                };
+                for id in targets {
+                    if seen.insert(id) {
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+        seen
+    };
+
+    let sim_fns = closure(&SIM_ROOTS);
+    let hot_fns = closure(&HOT_ROOTS);
+
+    // Sim-path state: start from impl targets and type names mentioned
+    // in reachable item spans, then close over type definitions (a
+    // field of an included type pulls that field's type in too).
+    let mut type_defs: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !file.in_sim_universe {
+            continue;
+        }
+        for (ti, t) in file.items.types.iter().enumerate() {
+            if !t.is_test {
+                type_defs.entry(t.name.clone()).or_default().push((fi, ti));
+            }
+        }
+    }
+    let mut sim_types: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: Vec<(usize, usize, usize)> = Vec::new(); // (file, lo, hi)
+    for &(fi, ii) in &sim_fns {
+        let f = &files[fi].items.fns[ii];
+        if let Some(t) = &f.impl_type {
+            if sim_types.insert(t.clone()) {
+                for &(tfi, tti) in type_defs.get(t).map(Vec::as_slice).unwrap_or_default() {
+                    let td = &files[tfi].items.types[tti];
+                    frontier.push((tfi, td.item_start, td.item_end));
+                }
+            }
+        }
+        let hi = f.body.map_or(f.item_start, |(_, close)| close);
+        frontier.push((fi, f.item_start, hi));
+    }
+    loop {
+        let mut grew = false;
+        let mut next: Vec<(usize, usize, usize)> = Vec::new();
+        for &(fi, lo, hi) in &frontier {
+            let file = &files[fi];
+            for i in lo..=hi.min(file.toks.len().saturating_sub(1)) {
+                let t = &file.toks[i];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let name = t.text(file.src);
+                if !type_defs.contains_key(name) || sim_types.contains(name) {
+                    continue;
+                }
+                sim_types.insert(name.to_string());
+                grew = true;
+                for &(tfi, tti) in &type_defs[name] {
+                    let td = &files[tfi].items.types[tti];
+                    next.push((tfi, td.item_start, td.item_end));
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+        frontier = next;
+    }
+
+    Reach {
+        sim_fns,
+        hot_fns,
+        sim_types,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::scan_items;
+    use crate::lexer::lex;
+
+    struct Owned {
+        path: String,
+        src: String,
+        toks: Vec<Tok>,
+        items: FileItems,
+    }
+
+    fn analyze(sources: &[(&str, &str)]) -> Vec<Owned> {
+        sources
+            .iter()
+            .map(|(p, s)| {
+                let toks = lex(s);
+                let items = scan_items(s, &toks);
+                Owned {
+                    path: (*p).to_string(),
+                    src: (*s).to_string(),
+                    toks,
+                    items,
+                }
+            })
+            .collect()
+    }
+
+    fn refs(owned: &[Owned]) -> Vec<FileRef<'_>> {
+        owned
+            .iter()
+            .map(|o| FileRef {
+                path: &o.path,
+                src: &o.src,
+                toks: &o.toks,
+                items: &o.items,
+                in_sim_universe: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bfs_crosses_files_and_stops_at_unreached_fns() {
+        let a = "pub struct Simulation;\nimpl Simulation {\n  pub fn run(&mut self) { self.handle(); helper(); }\n  fn handle(&mut self) { Other::step(); }\n}\nfn unrelated() {}\n";
+        let b = "pub struct Other;\nimpl Other {\n  pub fn step() {}\n}\npub fn helper() {}\n";
+        let owned = analyze(&[("a.rs", a), ("b.rs", b)]);
+        let r = compute(&refs(&owned));
+        let names: Vec<String> = r
+            .sim_fns
+            .iter()
+            .map(|&(fi, ii)| owned[fi].items.fns[ii].qualified())
+            .collect();
+        assert!(names.contains(&"Simulation::run".to_string()));
+        assert!(names.contains(&"Simulation::handle".to_string()));
+        assert!(names.contains(&"Other::step".to_string()));
+        assert!(names.contains(&"helper".to_string()));
+        assert!(!names.contains(&"unrelated".to_string()));
+    }
+
+    #[test]
+    fn hot_path_is_rooted_at_handle() {
+        let a = "pub struct Simulation;\nimpl Simulation {\n  pub fn run(&mut self) { setup(); self.handle(); }\n  fn handle(&mut self) { dispatch(); }\n}\nfn setup() {}\nfn dispatch() {}\n";
+        let owned = analyze(&[("a.rs", a)]);
+        let r = compute(&refs(&owned));
+        let hot: Vec<String> = r
+            .hot_fns
+            .iter()
+            .map(|&(fi, ii)| owned[fi].items.fns[ii].qualified())
+            .collect();
+        assert!(hot.contains(&"dispatch".to_string()));
+        assert!(!hot.contains(&"setup".to_string()));
+    }
+
+    #[test]
+    fn sim_types_close_over_field_types() {
+        let a = "pub struct Simulation { hosts: Vec<Host> }\nimpl Simulation { pub fn run(&mut self) {} }\npub struct Host { p: Pending }\npub struct Pending;\npub struct Unused;\n";
+        let owned = analyze(&[("a.rs", a)]);
+        let r = compute(&refs(&owned));
+        assert!(r.sim_types.contains("Simulation"));
+        assert!(r.sim_types.contains("Host"));
+        assert!(r.sim_types.contains("Pending"));
+        assert!(!r.sim_types.contains("Unused"));
+    }
+
+    #[test]
+    fn test_fns_are_not_call_targets() {
+        let a = "pub struct Simulation;\nimpl Simulation { pub fn run(&mut self) { check(); } }\n#[cfg(test)]\nmod tests { pub fn check() {} }\n";
+        let owned = analyze(&[("a.rs", a)]);
+        let r = compute(&refs(&owned));
+        assert_eq!(r.sim_fns.len(), 1);
+    }
+}

@@ -1,0 +1,526 @@
+//! The rule engine: every token-level rule, old and new, evaluated in
+//! one walk over a file's code tokens.
+//!
+//! Scoping comes in two flavours. The v1 determinism rules
+//! (`hash-order`, `wall-clock`, `ambient-rng`, `crate-hygiene`,
+//! `exit-discipline`) keep their crate-classification scoping but are
+//! now token-aware, so a banned name inside a string literal or
+//! comment can no longer fire. The v2 families (`send-readiness`,
+//! `panic-discipline`, `float-determinism`, `alloc-hot-path`) scope by
+//! [`crate::reach`] instead: they apply to functions actually
+//! reachable from `Simulation::run` (or, for `alloc-hot-path`, from
+//! the per-event dispatcher `Simulation::handle`) and to the types
+//! that make up sim-path state — not to crate-name whitelists.
+//!
+//! Suppression filtering happens *after* this pass (in the
+//! orchestrator), so the engine reports every match; that is what lets
+//! the orchestrator detect `tidy:allow` directives that no longer
+//! suppress anything.
+
+use crate::items::FileItems;
+use crate::lexer::{Tok, TokKind};
+use crate::reach::Reach;
+use crate::Finding;
+
+/// std hashed collections banned on the sim path.
+pub const HASH_ORDER_TOKENS: &[&str] = &["HashMap", "HashSet"];
+/// RNG constructors banned outside sim-core's seeded substreams.
+pub const AMBIENT_RNG_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "seed_from_u64",
+    "SmallRng",
+    "StdRng",
+    "OsRng",
+];
+/// Debug macros that must not ship outside tests.
+const BANNED_MACROS: &[&str] = &["dbg", "todo", "unimplemented"];
+/// Interior-mutability / shared-ownership wrappers that are not
+/// `Send`-compatible in the sharding sense.
+const SEND_HAZARDS: &[&str] = &["Rc", "RefCell", "Cell"];
+/// Panicking macros on the sim path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable"];
+/// libm-backed float methods whose results may vary across platforms
+/// and libm implementations.
+const LIBM_METHODS: &[&str] = &[
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "exp", "exp2",
+    "exp_m1", "ln", "ln_1p", "log", "log2", "log10", "powf", "powi", "sqrt", "cbrt", "hypot",
+];
+/// Comparator-taking order operations whose keys must not be
+/// NaN-capable floats.
+const SORTERS: &[&str] = &[
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search_by",
+    "binary_search_by_key",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+];
+/// Owner types whose constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "Rc", "Arc", "String", "BTreeMap", "BTreeSet", "VecDeque", "HashMap", "HashSet",
+];
+/// Allocating constructor names on [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// Allocating conversion methods.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect"];
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Everything the rule engine needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with forward slashes.
+    pub path: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Full token stream.
+    pub toks: &'a [Tok],
+    /// Item structure.
+    pub items: &'a FileItems,
+    /// Index of this file in the workspace (for [`Reach`] lookups).
+    pub fi: usize,
+    /// File belongs to a sim-path crate (hash-order applies).
+    pub sim_crate: bool,
+    /// File belongs to a harness crate allowed to read the wall clock.
+    pub wall_clock_exempt: bool,
+    /// File is `crates/sim-core/src/rng.rs`, the seeded-substream home.
+    pub rng_home: bool,
+    /// File is a `main.rs` (owns process exit).
+    pub is_main: bool,
+    /// File is test/bench collateral by path.
+    pub is_test_file: bool,
+}
+
+/// One walk over the file, all rules. Findings carry no ids yet; the
+/// orchestrator assigns them after suppression filtering.
+pub fn scan_file(ctx: &FileCtx<'_>, reach: &Reach, out: &mut Vec<Finding>) {
+    let code: Vec<usize> = (0..ctx.toks.len())
+        .filter(|&i| !ctx.toks[i].is_comment())
+        .collect();
+    let eng = Engine {
+        ctx,
+        reach,
+        code: &code,
+    };
+    for k in 0..code.len() {
+        eng.at(k, out);
+    }
+}
+
+struct Engine<'a> {
+    ctx: &'a FileCtx<'a>,
+    reach: &'a Reach,
+    code: &'a [usize],
+}
+
+impl Engine<'_> {
+    fn tok(&self, k: usize) -> &Tok {
+        &self.ctx.toks[self.code[k]]
+    }
+
+    fn text(&self, k: usize) -> &str {
+        self.tok(k).text(self.ctx.src)
+    }
+
+    fn is_ident(&self, k: usize) -> bool {
+        k < self.code.len() && self.tok(k).kind == TokKind::Ident
+    }
+
+    fn is_punct(&self, k: usize, c: char) -> bool {
+        k < self.code.len() && self.tok(k).kind == TokKind::Punct && self.text(k).starts_with(c)
+    }
+
+    /// `a :: b` at positions k, k+1, k+2, k+3.
+    fn path_seg(&self, k: usize, b: &str) -> bool {
+        self.is_punct(k + 1, ':')
+            && self.is_punct(k + 2, ':')
+            && self.is_ident(k + 3)
+            && self.text(k + 3) == b
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.ctx.is_test_file || self.ctx.items.line_in_test(line)
+    }
+
+    /// The enclosing scope label for token index `k`.
+    fn scope(&self, k: usize) -> String {
+        let ti = self.code[k];
+        if let Some(fi) = self.ctx.items.fn_containing(ti) {
+            return self.ctx.items.fns[fi].qualified();
+        }
+        if let Some(tyi) = self.ctx.items.type_containing(ti) {
+            return self.ctx.items.types[tyi].name.clone();
+        }
+        "-".to_string()
+    }
+
+    /// Is token `k` inside a function on the sim path?
+    fn sim_fn(&self, k: usize) -> bool {
+        self.ctx
+            .items
+            .fn_containing(self.code[k])
+            .is_some_and(|fi| {
+                !self.ctx.items.fns[fi].is_test && self.reach.on_sim_path((self.ctx.fi, fi))
+            })
+    }
+
+    /// Is token `k` inside a function on the per-event hot path?
+    fn hot_fn(&self, k: usize) -> bool {
+        self.ctx
+            .items
+            .fn_containing(self.code[k])
+            .is_some_and(|fi| {
+                !self.ctx.items.fns[fi].is_test && self.reach.on_hot_path((self.ctx.fi, fi))
+            })
+    }
+
+    /// Is token `k` inside sim-path state: a sim fn, or the definition
+    /// of a type the sim path owns?
+    fn sim_state(&self, k: usize) -> bool {
+        if self.sim_fn(k) {
+            return true;
+        }
+        self.ctx
+            .items
+            .type_containing(self.code[k])
+            .is_some_and(|tyi| {
+                let t = &self.ctx.items.types[tyi];
+                !t.is_test && self.reach.sim_types.contains(&t.name)
+            })
+    }
+
+    fn push(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &'static str,
+        k: usize,
+        token: &str,
+        message: String,
+    ) {
+        let t = self.tok(k);
+        out.push(Finding {
+            rule,
+            path: self.ctx.path.to_string(),
+            line: t.line,
+            col: t.col,
+            scope: self.scope(k),
+            token: token.to_string(),
+            message,
+            id: String::new(),
+        });
+    }
+
+    /// Evaluates every rule at code-token position `k`.
+    fn at(&self, k: usize, out: &mut Vec<Finding>) {
+        let line = self.tok(k).line;
+        if self.is_ident(k) {
+            let name = self.text(k);
+
+            // hash-order: sim-path crates must not iterate std hashed
+            // collections.
+            if self.ctx.sim_crate && HASH_ORDER_TOKENS.contains(&name) {
+                self.push(
+                    out,
+                    "hash-order",
+                    k,
+                    name,
+                    format!(
+                        "`{name}` iterates in hash order (a replay hazard); use \
+                         grococa_sim::DetMap/DetSet or justify with tidy:allow"
+                    ),
+                );
+            }
+
+            // wall-clock: ambient time outside harness crates.
+            if !self.ctx.wall_clock_exempt {
+                let tok = if name == "SystemTime" {
+                    Some("SystemTime")
+                } else if name == "Instant" && self.path_seg(k, "now") {
+                    Some("Instant::now")
+                } else {
+                    None
+                };
+                if let Some(tok) = tok {
+                    self.push(
+                        out,
+                        "wall-clock",
+                        k,
+                        tok,
+                        format!(
+                            "`{tok}` reads ambient time inside the simulation path; thread \
+                             elapsed-time measurement in from a harness crate"
+                        ),
+                    );
+                }
+            }
+
+            // ambient-rng: RNG construction outside the seeded home.
+            if !self.ctx.rng_home && AMBIENT_RNG_TOKENS.contains(&name) {
+                self.push(
+                    out,
+                    "ambient-rng",
+                    k,
+                    name,
+                    format!(
+                        "`{name}` constructs an RNG outside sim-core's seeded substreams; \
+                         derive a stream via grococa_sim::SimRng instead"
+                    ),
+                );
+            }
+
+            // crate-hygiene: dbg!/todo!/unimplemented! outside tests.
+            if BANNED_MACROS.contains(&name) && self.is_punct(k + 1, '!') && !self.in_test(line) {
+                self.push(
+                    out,
+                    "crate-hygiene",
+                    k,
+                    &format!("{name}!"),
+                    format!("`{name}!` must not ship outside tests"),
+                );
+            }
+
+            // exit-discipline: process::exit outside main.rs.
+            if name == "process"
+                && self.path_seg(k, "exit")
+                && !self.ctx.is_main
+                && !self.in_test(line)
+            {
+                self.push(
+                    out,
+                    "exit-discipline",
+                    k,
+                    "process::exit",
+                    "`process::exit` outside main.rs skips destructors (journal \
+                     flushes included) and hides the exit code; return a status \
+                     up to main or justify with tidy:allow"
+                        .to_string(),
+                );
+            }
+
+            // send-readiness: non-Send wrappers in sim-path state.
+            if SEND_HAZARDS.contains(&name)
+                && (self.is_punct(k + 1, '<')
+                    || (self.is_punct(k + 1, ':') && self.is_punct(k + 2, ':')))
+                && self.sim_state(k)
+            {
+                self.push(
+                    out,
+                    "send-readiness",
+                    k,
+                    name,
+                    format!(
+                        "`{name}` in sim-path state is not Send and blocks the sharded \
+                         DES workers (ROADMAP item 2); migrate to owned/`Arc` data or \
+                         justify with tidy:allow"
+                    ),
+                );
+            }
+
+            // panic-discipline: panicking macros on the sim path.
+            if PANIC_MACROS.contains(&name)
+                && self.is_punct(k + 1, '!')
+                && !self.in_test(line)
+                && self.sim_fn(k)
+            {
+                self.push(
+                    out,
+                    "panic-discipline",
+                    k,
+                    &format!("{name}!"),
+                    format!(
+                        "`{name}!` aborts the event loop on the sim path; propagate a \
+                         typed SimError or justify the invariant with tidy:allow"
+                    ),
+                );
+            }
+        }
+
+        // Method-shaped rules: `.name(`.
+        if self.is_punct(k, '.') && self.is_ident(k + 1) && self.is_punct(k + 2, '(') {
+            let name = self.text(k + 1);
+            let mk = k + 1;
+            let line = self.tok(mk).line;
+            if !self.in_test(line) && self.sim_fn(mk) {
+                // panic-discipline: unwrap/expect.
+                if name == "unwrap" || name == "expect" {
+                    self.push(
+                        out,
+                        "panic-discipline",
+                        mk,
+                        name,
+                        format!(
+                            "`.{name}()` panics on the sim path; propagate a typed \
+                             SimError (`ok_or`/`?`) or justify the invariant with \
+                             tidy:allow"
+                        ),
+                    );
+                }
+                // float-determinism: NaN-unordered comparison.
+                if name == "partial_cmp" {
+                    self.push(
+                        out,
+                        "float-determinism",
+                        mk,
+                        name,
+                        "`.partial_cmp()` is unordered under NaN, so tie-breaks become \
+                         platform/input dependent; use `total_cmp`, integer keys, or \
+                         justify with tidy:allow"
+                            .to_string(),
+                    );
+                }
+                // float-determinism: libm-backed transcendentals.
+                if LIBM_METHODS.contains(&name) {
+                    self.push(
+                        out,
+                        "float-determinism",
+                        mk,
+                        name,
+                        format!(
+                            "`.{name}()` is libm-backed and may differ across platforms; \
+                             confine it to derived parameters, use a table, or justify \
+                             with tidy:allow"
+                        ),
+                    );
+                }
+                // float-determinism: NaN-capable sort keys.
+                if SORTERS.contains(&name) && self.float_in_args(k + 2) {
+                    self.push(
+                        out,
+                        "float-determinism",
+                        mk,
+                        name,
+                        format!(
+                            "`.{name}()` with a float key is NaN-capable and makes \
+                             ordering platform dependent; use integer or `total_cmp` \
+                             keys, or justify with tidy:allow"
+                        ),
+                    );
+                }
+            }
+            // alloc-hot-path: allocating conversions per event.
+            if ALLOC_METHODS.contains(&name) && !self.in_test(line) && self.hot_fn(mk) {
+                self.push(
+                    out,
+                    "alloc-hot-path",
+                    mk,
+                    name,
+                    format!(
+                        "`.{name}()` allocates inside the per-event dispatch path; hoist \
+                         the buffer out of the loop or justify with tidy:allow"
+                    ),
+                );
+            }
+        }
+
+        // alloc-hot-path: constructors and macros.
+        if self.is_ident(k) && !self.in_test(line) && self.hot_fn(k) {
+            let name = self.text(k);
+            if ALLOC_TYPES.contains(&name)
+                && self.is_punct(k + 1, ':')
+                && self.is_punct(k + 2, ':')
+                && self.is_ident(k + 3)
+                && ALLOC_CTORS.contains(&self.text(k + 3))
+                && self.is_punct(k + 4, '(')
+                && !(k > 0 && self.is_punct(k - 1, '.'))
+            {
+                let tok = format!("{name}::{}", self.text(k + 3));
+                self.push(
+                    out,
+                    "alloc-hot-path",
+                    k,
+                    &tok,
+                    format!(
+                        "`{tok}` allocates inside the per-event dispatch path; \
+                         preallocate outside the loop or justify with tidy:allow"
+                    ),
+                );
+            }
+            if ALLOC_MACROS.contains(&name) && self.is_punct(k + 1, '!') {
+                self.push(
+                    out,
+                    "alloc-hot-path",
+                    k,
+                    &format!("{name}!"),
+                    format!(
+                        "`{name}!` allocates inside the per-event dispatch path; \
+                         preallocate outside the loop or justify with tidy:allow"
+                    ),
+                );
+            }
+        }
+
+        // panic-discipline: unchecked indexing `expr[...]` on the sim
+        // path. An opening bracket indexes when it directly follows a
+        // value: an identifier, a closing bracket, or a closing paren.
+        if self.is_punct(k, '[')
+            && k > 0
+            && (self.is_ident(k - 1) || self.is_punct(k - 1, ']') || self.is_punct(k - 1, ')'))
+            && !self.in_test(line)
+            && self.sim_fn(k)
+        {
+            // `name![…]` macro invocations never reach here: the token
+            // before `[` would be `!`.
+            self.push(
+                out,
+                "panic-discipline",
+                k,
+                "[]",
+                "unchecked indexing panics out of the event loop on bad input; use \
+                 `.get()` with typed-error propagation or justify the bound with \
+                 tidy:allow"
+                    .to_string(),
+            );
+        }
+
+        // send-readiness: raw pointers in sim-path state.
+        if self.is_punct(k, '*')
+            && self.is_ident(k + 1)
+            && matches!(self.text(k + 1), "const" | "mut")
+            && self.sim_state(k)
+        {
+            let tok = format!("*{}", self.text(k + 1));
+            self.push(
+                out,
+                "send-readiness",
+                k,
+                &tok,
+                format!(
+                    "raw pointer `{tok}` in sim-path state is not Send and blocks the \
+                     sharded DES workers (ROADMAP item 2); use indices or owned data, \
+                     or justify with tidy:allow"
+                ),
+            );
+        }
+    }
+
+    /// Scans the balanced paren group opening at code index `open` for
+    /// float indicators (an `f32`/`f64` ident or a float literal).
+    fn float_in_args(&self, open: usize) -> bool {
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < self.code.len() {
+            if self.is_punct(k, '(') {
+                depth += 1;
+            } else if self.is_punct(k, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            } else if self.is_ident(k) && matches!(self.text(k), "f32" | "f64") {
+                return true;
+            } else if self.tok(k).kind == TokKind::Num {
+                let t = self.text(k);
+                if t.contains('.') || t.ends_with("f32") || t.ends_with("f64") {
+                    return true;
+                }
+            }
+            k += 1;
+        }
+        false
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal SARIF 2.1.0 emitter, hand-rolled so the linter stays
+//! dependency-free.
+//!
+//! The output targets GitHub code scanning's `upload-sarif` action:
+//! one run, one rule descriptor per rule id, one result per finding
+//! with a physical location carrying line *and column* so annotations
+//! land on the exact token. Only the subset of the schema GitHub
+//! consumes is emitted.
+
+use std::fmt::Write as _;
+
+use crate::{json_escape, Finding, RULES};
+
+/// Renders `findings` as one SARIF 2.1.0 document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",",
+    );
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"grococa-tidy\",\"informationUri\":\"https://example.invalid/grococa\",\"rules\":[");
+    for (i, (id, summary)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            json_escape(id),
+            json_escape(summary)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // SARIF requires positive line/column; whole-file findings
+        // (line 0) anchor at 1:1.
+        let line = f.line.max(1);
+        let col = f.col.max(1);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"partialFingerprints\":{{\"grococaTidyId/v1\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{line},\"startColumn\":{col}}}}}}}]}}",
+            json_escape(f.rule),
+            json_escape(&f.message),
+            json_escape(&f.id),
+            json_escape(&f.path),
+        );
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape_and_escaping() {
+        let f = Finding {
+            rule: "hash-order",
+            path: "crates/cache/src/lib.rs".to_string(),
+            line: 7,
+            col: 13,
+            scope: "ClientCache::tick".to_string(),
+            token: "HashMap".to_string(),
+            message: "a \"quoted\" message".to_string(),
+            id: "0123456789abcdef".to_string(),
+        };
+        let s = render(&[f]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"hash-order\""));
+        assert!(s.contains("\"startLine\":7"));
+        assert!(s.contains("\"startColumn\":13"));
+        assert!(s.contains("a \\\"quoted\\\" message"));
+        assert!(s.contains("0123456789abcdef"));
+        // Every rule in the registry is described.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\":\"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn zero_line_findings_anchor_at_one() {
+        let f = Finding {
+            rule: "crate-hygiene",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 0,
+            col: 0,
+            scope: "-".to_string(),
+            token: "pragma".to_string(),
+            message: "missing pragma".to_string(),
+            id: "ffffffffffffffff".to_string(),
+        };
+        let s = render(&[f]);
+        assert!(s.contains("\"startLine\":1"));
+        assert!(s.contains("\"startColumn\":1"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Violating sample: per-event allocation inside the dispatch path —
+//! and the same constructors outside it, which are fine.
+
+pub struct Simulation {
+    names: Vec<String>,
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        self.handle(3);
+    }
+
+    fn handle(&mut self, ev: u32) {
+        self.dispatch(ev);
+    }
+
+    fn dispatch(&mut self, ev: u32) {
+        let scratch: Vec<u32> = Vec::with_capacity(4);
+        let label = format!("ev {ev}");
+        let owned = label.to_owned();
+        self.names.extend([owned]);
+        drop(scratch);
+    }
+
+    /// Reachable from `run` but not from `handle`: allocation here is
+    /// setup cost, not per-event cost, and must not be reported.
+    pub fn warm_setup(&mut self) {
+        let cold: Vec<u32> = Vec::new();
+        drop(cold);
+    }
+}

@@ -1,0 +1,19 @@
+//! Violating sample: NaN-capable comparisons and libm-backed math on
+//! the sim path.
+
+pub struct Simulation {
+    xs: Vec<f64>,
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        self.xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.xs.sort_by_key(|x| (x * 100.0) as u64);
+        let _ = self.tau();
+    }
+
+    fn tau(&self) -> f64 {
+        let x = self.xs.len() as f64;
+        x.ln() + x.powf(0.5)
+    }
+}

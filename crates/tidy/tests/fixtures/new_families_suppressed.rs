@@ -1,0 +1,21 @@
+//! Suppressed sample: one justified hazard per new rule family; all of
+//! them must suppress cleanly with no unused-suppression residue.
+
+use std::rc::Rc;
+
+pub struct Simulation {
+    log: Rc<Vec<u32>>, // tidy:allow(send-readiness): single-threaded until the sharded DES lands
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        self.handle();
+    }
+
+    fn handle(&mut self) {
+        let first = *self.log.first().unwrap(); // tidy:allow(panic-discipline): log is seeded non-empty at construction
+        let tau = (first as f64).ln(); // tidy:allow(float-determinism): derived parameter, computed once per run
+        let buf = format!("{tau}"); // tidy:allow(alloc-hot-path): cold error path, never per-event
+        drop(buf);
+    }
+}

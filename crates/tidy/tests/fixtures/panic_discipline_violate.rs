@@ -1,0 +1,36 @@
+//! Violating sample: panicking constructs on the sim path — and the
+//! same constructs off it or under test, which must stay silent.
+
+pub struct Simulation {
+    vals: Vec<u32>,
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        let v = *self.vals.first().unwrap();
+        let w: Option<u32> = None;
+        let _ = w.expect("always");
+        let _ = self.vals[0];
+        panic!("boom {v}");
+    }
+}
+
+/// Never called from `Simulation::run`: reachability scoping must keep
+/// this indexing out of the report.
+pub fn unreached(vals: &[u32]) -> u32 {
+    vals[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1, 2, 3];
+        assert_eq!(v[0], 1);
+        let _ = v.first().unwrap();
+    }
+}

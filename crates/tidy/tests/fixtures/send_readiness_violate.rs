@@ -1,0 +1,27 @@
+//! Violating sample: non-Send wrappers inside sim-path state.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct Simulation {
+    log: Rc<Vec<u32>>,
+    scratch: RefCell<u32>,
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        let copy: Rc<Vec<u32>> = Rc::clone(&self.log);
+        drop(copy);
+        self.scratch.replace(1);
+    }
+}
+
+/// Off the sim path: the same wrapper in an unreachable helper's local
+/// type is outside sim-path state and must not be reported.
+pub struct HarnessOnly {
+    side: Rc<u32>,
+}
+
+pub fn harness(h: &HarnessOnly) -> u32 {
+    *h.side
+}

@@ -1,0 +1,21 @@
+//! Regression sample: every banned token quoted in comments, strings,
+//! raw strings or doc text — `HashMap`, `Instant::now()`, `.unwrap()`,
+//! `thread_rng()` — and none of it may be reported.
+
+pub struct Simulation {
+    banner: &'static str,
+}
+
+impl Simulation {
+    pub fn run(&mut self) {
+        // A comment mentioning thread_rng() and .unwrap() is fine.
+        let msg = "HashMap and Instant::now() and .unwrap() in a string";
+        let raw = r#"RefCell<u32> and panic!("no") and vals[0]"#;
+        /* block comment: SystemTime, todo!(), process::exit(1),
+        vec![Rc::new(0)], and even nested /* sort_by(partial_cmp) */ text */
+        let lifetime: &'static str = "\"escaped\" Vec::new() \u{7b}";
+        self.keep(msg, raw, lifetime);
+    }
+
+    fn keep(&mut self, _a: &str, _b: &str, _c: &str) {}
+}

@@ -1,0 +1,11 @@
+//! Rejected sample: a justified directive for a known rule that no
+//! longer suppresses anything must be flagged for removal.
+
+pub struct Simulation;
+
+impl Simulation {
+    pub fn run(&mut self) {
+        let x: u32 = 1; // tidy:allow(wall-clock): stale — the Instant::now this guarded is gone
+        let _ = x;
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the tidy lexer's loss-freeness contract: for any
+//! source assembled from representative Rust fragments, the token
+//! stream is strictly ordered and non-overlapping, every byte outside a
+//! token span is whitespace, and each token's line/column agrees with
+//! an independent recount from its byte offset.
+
+use grococa_tidy::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragments chosen to exercise every lexer mode: raw strings, escaped
+/// strings, byte strings, nested block comments, line comments,
+/// lifetimes vs char literals, float/exponent/range numerals, and plain
+/// punctuation soup.
+const FRAGMENTS: &[&str] = &[
+    "fn step()",
+    "let x = 1.5e-3;",
+    "r#\"raw \\ \"quote\" text\"#",
+    "\"a string with // no comment\"",
+    "// line comment with \"quote\" and 'tick",
+    "/* block /* nested */ still */",
+    "'a>",
+    "'x'",
+    "b'\\n'",
+    "ident_7",
+    "1..4",
+    "7.max(2)",
+    "HashMap::<u64, u32>::new()",
+    "x.unwrap()",
+    "#[cfg(test)]",
+    "0xFF_u64",
+    "1_000.5f64",
+    "::",
+    "=>",
+    "->",
+    "'static str",
+    "b\"bytes \\\"esc\\\"\"",
+    "\"unicode \u{3c4} = \u{3c4}\u{304} + \u{3c6}\u{2032}\"",
+    "r##\"outer \"# inner\"##",
+];
+
+const SEPS: &[&str] = &[" ", "\n", "\t", "\n\n", " \n "];
+
+/// Builds a source string from fragment/separator index pairs.
+fn assemble(picks: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for &(f, s) in picks {
+        src.push_str(FRAGMENTS[f % FRAGMENTS.len()]);
+        src.push_str(SEPS[s % SEPS.len()]);
+    }
+    src
+}
+
+/// Independently recomputes the 1-based (line, col) of byte offset
+/// `at` in `src`, counting columns in characters like the lexer does.
+fn line_col(src: &str, at: usize) -> (usize, usize) {
+    let (mut line, mut col) = (1, 1);
+    for (off, ch) in src.char_indices() {
+        if off == at {
+            return (line, col);
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+proptest! {
+    #[test]
+    fn lexing_is_loss_free(
+        picks in proptest::collection::vec((0usize..1000, 0usize..1000), 0..24),
+    ) {
+        let src = assemble(&picks);
+        let toks = lex(&src);
+
+        // Spans are strictly ordered, non-empty and non-overlapping.
+        for w in toks.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap in {src:?}");
+        }
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            prop_assert!(t.start < t.end, "empty span in {src:?}");
+            for flag in &mut covered[t.start..t.end] {
+                *flag = true;
+            }
+        }
+
+        // Every uncovered byte is whitespace: nothing is silently lost.
+        for (off, ch) in src.char_indices() {
+            if !ch.is_whitespace() {
+                prop_assert!(
+                    covered[off],
+                    "non-whitespace char {ch:?} at {off} uncovered in {src:?}"
+                );
+            }
+        }
+
+        // Line/column agree with an independent recount.
+        for t in &toks {
+            prop_assert_eq!(
+                (t.line, t.col),
+                line_col(&src, t.start),
+                "line/col drift for {:?} in {:?}",
+                t.text(&src),
+                src
+            );
+        }
+
+        // Comment/string interiors never leak code tokens: a banned name
+        // appearing only inside strings or comments must not surface as
+        // an identifier token.
+        for t in toks.iter().filter(|t| t.kind == TokKind::Ident) {
+            let text = t.text(&src);
+            prop_assert!(
+                !text.contains("//") && !text.contains('"'),
+                "ident token bleeding into quoted text: {text:?} in {src:?}"
+            );
+        }
+    }
+}
