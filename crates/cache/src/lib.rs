@@ -337,6 +337,24 @@ impl<K: Copy + Eq + Hash + Ord> ClientCache<K> {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Reinstates a raw `(key, entry)` pair exactly as read back by
+    /// [`ClientCache::iter`] (checkpointing support).
+    ///
+    /// Bypasses eviction: the caller replays entries into an empty cache
+    /// in their original insertion order, which reproduces the exact
+    /// iteration (and therefore victim tie-break) behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is already at capacity and `key` is new.
+    pub fn restore_entry(&mut self, key: K, entry: Entry) {
+        assert!(
+            self.entries.contains_key(&key) || !self.is_full(),
+            "restore_entry would exceed cache capacity"
+        );
+        self.entries.insert(key, entry);
+    }
 }
 
 #[cfg(test)]

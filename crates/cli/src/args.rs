@@ -16,11 +16,32 @@ pub struct Cli {
     pub csv: bool,
 }
 
+/// Default checkpoint cadence (`--checkpoint-every`): every 20 000
+/// dispatched events. Sized for default-scale worlds (snapshots of a
+/// few MB land every few seconds at single-digit % overhead); snapshot
+/// bytes grow with `num_clients` × `sigma`, so large populations want a
+/// much coarser interval — `BENCH_checkpoint.json` has the measured
+/// curve at 800 clients and a rule of thumb.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 20_000;
+
 /// The `grococa` subcommands.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Run one configuration and print its report.
-    Run(Box<SimConfig>),
+    Run {
+        /// The configuration to simulate.
+        cfg: Box<SimConfig>,
+        /// Run-level checkpoint journal path (`--checkpoint`): the full
+        /// simulation state is snapshotted every `checkpoint_every`
+        /// events, so a killed run can resume mid-flight.
+        checkpoint: Option<std::path::PathBuf>,
+        /// Events between checkpoints (`--checkpoint-every`).
+        checkpoint_every: u64,
+        /// Resume from the newest good checkpoint in this journal
+        /// (`--resume-run`); falls back through older checkpoints on
+        /// corruption and to a fresh run when none is usable.
+        resume_run: Option<std::path::PathBuf>,
+    },
     /// Run all three schemes on one configuration.
     Compare(Box<SimConfig>),
     /// Sweep one parameter across values, all three schemes.
@@ -50,6 +71,13 @@ pub enum Command {
         /// Per-cell RSS ceiling in MiB (`--cell-mem-mb N`); requires
         /// `--isolate` (only a child process can be killed over it).
         cell_mem_mb: Option<u64>,
+        /// Per-cell checkpoint directory (`--checkpoint DIR`; requires
+        /// `--isolate`): each worker snapshots its run into
+        /// `DIR/cell-<idx>.gcc`, so a killed/OOMed cell's retry resumes
+        /// mid-run instead of restarting from zero.
+        checkpoint: Option<std::path::PathBuf>,
+        /// Events between per-cell checkpoints (`--checkpoint-every`).
+        checkpoint_every: u64,
     },
     /// Print usage.
     Help,
@@ -107,6 +135,18 @@ OPTIONS (all optional; defaults are the paper's Table II):
     --account-beacons          meter NDP beacon power
     --csv                      machine-readable CSV output
 
+RUN CRASH SAFETY (run command only):
+    --checkpoint FILE          snapshot the full run state into a fsync'd
+                               checkpoint journal every N events; a killed
+                               run resumes mid-flight, byte-identical
+    --checkpoint-every N       events between checkpoints
+                               [default: 20000; requires --checkpoint]
+    --resume-run FILE          resume from the newest good checkpoint in
+                               FILE (corrupted checkpoints fall back to
+                               older ones; none usable = fresh run);
+                               combine with --checkpoint FILE to keep
+                               checkpointing the resumed run
+
 SWEEP OPTIONS (crash safety; sweeps run on a GROCOCA_JOBS-wide pool):
     --journal FILE             append each completed cell to a fsync'd
                                write-ahead journal (crash-safe)
@@ -121,6 +161,10 @@ SWEEP OPTIONS (crash safety; sweeps run on a GROCOCA_JOBS-wide pool):
                                --isolate, advisory otherwise)
     --cell-mem-mb N            per-cell RSS ceiling in MiB (requires
                                --isolate)
+    --checkpoint DIR           with --isolate: workers checkpoint each
+                               cell into DIR/cell-<idx>.gcc, so a killed
+                               cell's retry resumes mid-run (files are
+                               removed once the cell result is journaled)
 
 SWEEPABLE PARAMETERS:
     cache_size, theta, access_range, group_size, update_rate, p_disc,
@@ -255,6 +299,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
     let mut isolate = false;
     let mut cell_deadline: Option<std::time::Duration> = None;
     let mut cell_mem_mb: Option<u64> = None;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut resume_run: Option<std::path::PathBuf> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -307,6 +354,33 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
                 cell_mem_mb = Some(mb);
                 i += 2;
             }
+            "--checkpoint" => {
+                checkpoint = Some(
+                    value
+                        .ok_or_else(|| err("--checkpoint needs a path"))?
+                        .into(),
+                );
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let every: u64 = value
+                    .ok_or_else(|| err("--checkpoint-every needs a value in events"))?
+                    .parse()
+                    .map_err(|_| err("invalid --checkpoint-every (whole events, e.g. 20000)"))?;
+                if every == 0 {
+                    return Err(err("--checkpoint-every must be positive"));
+                }
+                checkpoint_every = Some(every);
+                i += 2;
+            }
+            "--resume-run" => {
+                resume_run = Some(
+                    value
+                        .ok_or_else(|| err("--resume-run needs a file path"))?
+                        .into(),
+                );
+                i += 2;
+            }
             "--param" => {
                 param = Some(
                     value
@@ -356,9 +430,34 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
             "--cell-mem-mb requires --isolate (only a child process can be killed over it)",
         ));
     }
+    if !matches!(command.as_str(), "run" | "sweep") && checkpoint.is_some() {
+        return Err(err("--checkpoint is only valid with `run` or `sweep`"));
+    }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        return Err(err("--checkpoint-every requires --checkpoint"));
+    }
+    if resume_run.is_some() && command.as_str() != "run" {
+        return Err(err("--resume-run is only valid with `run`"));
+    }
+    if command.as_str() == "sweep" {
+        if resume_run.is_some() {
+            return Err(err("--resume-run is only valid with `run`"));
+        }
+        if checkpoint.is_some() && !isolate {
+            return Err(err(
+                "sweep --checkpoint requires --isolate (only re-exec'd cells checkpoint)",
+            ));
+        }
+    }
+    let checkpoint_every = checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
 
     let command = match command.as_str() {
-        "run" => Command::Run(Box::new(cfg)),
+        "run" => Command::Run {
+            cfg: Box::new(cfg),
+            checkpoint,
+            checkpoint_every,
+            resume_run,
+        },
         "compare" => Command::Compare(Box::new(cfg)),
         "sweep" => {
             let param = param.ok_or_else(|| err("sweep requires --param"))?;
@@ -377,6 +476,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, ArgError> {
                 isolate,
                 cell_deadline,
                 cell_mem_mb,
+                checkpoint,
+                checkpoint_every,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -405,7 +506,7 @@ mod tests {
         .unwrap();
         assert!(cli.csv);
         match cli.command {
-            Command::Run(cfg) => {
+            Command::Run { cfg, .. } => {
                 assert_eq!(cfg.scheme, Scheme::Coca);
                 assert_eq!(cfg.num_clients, 42);
                 assert_eq!(cfg.theta, 0.8);
@@ -518,7 +619,7 @@ mod tests {
     fn boolean_switches_consume_no_value() {
         let cli = parse_args(&argv("run --ndp-tables --account-beacons --clients 9")).unwrap();
         match cli.command {
-            Command::Run(cfg) => {
+            Command::Run { cfg, .. } => {
                 assert!(cfg.ndp_tables);
                 assert!(cfg.account_beacons);
                 assert_eq!(cfg.num_clients, 9);
@@ -531,7 +632,7 @@ mod tests {
     fn hybrid_flag_sets_delivery() {
         let cli = parse_args(&argv("run --hybrid-slots 500")).unwrap();
         match cli.command {
-            Command::Run(cfg) => {
+            Command::Run { cfg, .. } => {
                 assert!(matches!(
                     cfg.delivery,
                     DataDelivery::Hybrid {
@@ -558,7 +659,7 @@ mod tests {
     fn faults_flag_selects_a_profile() {
         let cli = parse_args(&argv("run --faults chaos --clients 9")).unwrap();
         match cli.command {
-            Command::Run(cfg) => {
+            Command::Run { cfg, .. } => {
                 assert!(cfg.faults.active());
                 assert_eq!(cfg.faults.p2p_loss, 0.25);
             }
@@ -566,7 +667,7 @@ mod tests {
         }
         let none = parse_args(&argv("run --faults none")).unwrap();
         match none.command {
-            Command::Run(cfg) => assert!(!cfg.faults.active()),
+            Command::Run { cfg, .. } => assert!(!cfg.faults.active()),
             other => panic!("wrong command {other:?}"),
         }
         let e = parse_args(&argv("run --faults mayhem")).unwrap_err();

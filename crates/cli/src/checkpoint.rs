@@ -1,0 +1,289 @@
+//! Run-level checkpoint files: full-state snapshots riding the
+//! crash-safe [`grococa_journal`] format.
+//!
+//! A checkpoint file is an ordinary journal whose records carry
+//! [`grococa_core`] snapshots (see `grococa run --checkpoint`). Because
+//! the journal already checksums every record, fsyncs every append and
+//! rolls torn writes back to the last clean prefix, a checkpoint file
+//! inherits the whole disk-fault story for free — including the
+//! [`crate::CHAOS_JOURNAL_ENV`] chaos harness.
+//!
+//! Large snapshots (big GroCoca populations carry dense n×n affinity
+//! matrices) are split across consecutive records of at most [`CHUNK`]
+//! bytes and reassembled on load. A checkpoint is usable only when every
+//! chunk landed, so a crash mid-append drops the *whole* in-flight
+//! checkpoint and the loader falls back to the previous complete one —
+//! never half of one.
+//!
+//! ```text
+//! record payload: seq u64 LE │ chunk u32 LE │ total u32 LE │ bytes
+//! ```
+//!
+//! The loader is a fallback ladder: journal recovery discards a torn
+//! tail, [`reassemble`] discards incomplete chunk groups, and
+//! [`latest_usable`] walks complete snapshots newest-first past any
+//! whose body fails [`grococa_core::Simulation::resume`] (version or
+//! checksum mismatch, structural damage). Only when every rung fails
+//! does the run start fresh — it never panics and never refuses.
+
+use std::path::Path;
+
+use grococa_core::{ResumedSimulation, SimConfig, Simulation};
+use grococa_journal::{Fingerprint, Journal};
+use grococa_par::warn_once;
+
+/// Maximum snapshot bytes per journal record. Comfortably under the
+/// journal's implausible-length ceiling, so a scanner never mistakes a
+/// legitimate chunk for corruption.
+const CHUNK: usize = 8 << 20;
+
+/// Chunk header bytes: seq u64 + chunk u32 + total u32.
+const CHUNK_HEADER: usize = 16;
+
+/// The checkpoint journal fingerprint: the run's canonical config hash,
+/// one "cell", this crate's version. Resuming under a different
+/// configuration or binary refuses up front instead of replaying state
+/// the new code cannot interpret.
+pub fn fingerprint(cfg: &SimConfig) -> Fingerprint {
+    Fingerprint {
+        config_hash: cfg.canonical_fingerprint(),
+        cells: 1,
+        version: env!("CARGO_PKG_VERSION").to_string(),
+    }
+}
+
+/// Splits one snapshot into journal record payloads.
+fn encode_chunks(seq: u64, snapshot: &[u8]) -> Vec<Vec<u8>> {
+    let total = snapshot.len().div_ceil(CHUNK).max(1) as u32;
+    let mut out = Vec::with_capacity(total as usize);
+    // `chunks` on an empty slice yields nothing; an empty snapshot still
+    // needs its one (empty-bodied) record.
+    let parts: Vec<&[u8]> = if snapshot.is_empty() {
+        vec![&[]]
+    } else {
+        snapshot.chunks(CHUNK).collect()
+    };
+    for (i, part) in parts.iter().enumerate() {
+        let mut payload = Vec::with_capacity(CHUNK_HEADER + part.len());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&(i as u32).to_le_bytes());
+        payload.extend_from_slice(&total.to_le_bytes());
+        payload.extend_from_slice(part);
+        out.push(payload);
+    }
+    out
+}
+
+/// Parses one record payload into (seq, chunk, total, body). Total:
+/// malformed payloads are `None` and the reassembler skips them.
+fn decode_chunk(payload: &[u8]) -> Option<(u64, u32, u32, &[u8])> {
+    if payload.len() < CHUNK_HEADER {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let chunk = u32::from_le_bytes(payload[8..12].try_into().ok()?);
+    let total = u32::from_le_bytes(payload[12..16].try_into().ok()?);
+    if total == 0 || chunk >= total {
+        return None;
+    }
+    Some((seq, chunk, total, &payload[CHUNK_HEADER..]))
+}
+
+/// What [`reassemble`] recovered from a checkpoint journal's records.
+pub struct RecoveredCheckpoints {
+    /// Complete snapshots in append order (oldest first), each with its
+    /// checkpoint sequence number.
+    pub snapshots: Vec<(u64, Vec<u8>)>,
+    /// The sequence number a continued run should stamp next: one past
+    /// the newest sequence seen, complete or not.
+    pub next_seq: u64,
+}
+
+/// Reassembles complete snapshots from raw journal records. Chunks of
+/// one checkpoint are appended consecutively by a single writer, so a
+/// linear scan suffices: any gap, reorder or malformed record abandons
+/// the group in progress (that checkpoint was torn) and scanning
+/// continues with the next group.
+pub fn reassemble(records: &[Vec<u8>]) -> RecoveredCheckpoints {
+    let mut snapshots: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut next_seq = 0u64;
+    let mut current: Option<(u64, u32, Vec<u8>)> = None; // (seq, total, body)
+    for record in records {
+        let Some((seq, chunk, total, body)) = decode_chunk(record) else {
+            current = None;
+            continue;
+        };
+        next_seq = next_seq.max(seq + 1);
+        if chunk == 0 {
+            current = Some((seq, total, body.to_vec()));
+        } else {
+            match &mut current {
+                Some((cur_seq, cur_total, parts))
+                    if *cur_seq == seq
+                        && *cur_total == total
+                        && parts.len().div_ceil(CHUNK) == chunk as usize =>
+                {
+                    parts.extend_from_slice(body);
+                }
+                _ => current = None,
+            }
+        }
+        let complete = current
+            .as_ref()
+            .is_some_and(|(_, cur_total, _)| chunk + 1 == *cur_total);
+        if complete {
+            if let Some((seq, _, body)) = current.take() {
+                snapshots.push((seq, body));
+            }
+        }
+    }
+    RecoveredCheckpoints {
+        snapshots,
+        next_seq,
+    }
+}
+
+/// Walks complete snapshots newest-first and returns the first that
+/// restores under `cfg`, warning (once per rung) about any it skips.
+/// `None` means every checkpoint was unusable: the caller starts fresh.
+pub fn latest_usable(
+    cfg: &SimConfig,
+    path: &Path,
+    snapshots: &[(u64, Vec<u8>)],
+) -> Option<(u64, ResumedSimulation)> {
+    for (seq, bytes) in snapshots.iter().rev() {
+        match Simulation::resume(cfg.clone(), bytes) {
+            Ok(resumed) => return Some((*seq, resumed)),
+            Err(e) => warn_once(
+                &format!("checkpoint-fallback-{seq}"),
+                &format!(
+                    "checkpoint {seq} in {} is unusable ({e}); \
+                     falling back to an older one",
+                    path.display()
+                ),
+            ),
+        }
+    }
+    None
+}
+
+/// The checkpoint sink handed to
+/// [`grococa_core::Simulation::try_run_inspect_checkpointed`]. Appends
+/// are best-effort: a disk fault warns once, drops the journal and lets
+/// the run finish un-checkpointed — a checkpoint is an optimisation and
+/// must never kill the simulation it protects.
+pub struct Writer {
+    journal: Option<Journal>,
+    seq: u64,
+}
+
+impl Writer {
+    /// A writer over an open journal (or a no-op one for `None`),
+    /// stamping checkpoints from `next_seq`.
+    pub fn new(journal: Option<Journal>, next_seq: u64) -> Writer {
+        Writer {
+            journal,
+            seq: next_seq,
+        }
+    }
+
+    /// Whether appends still reach a journal.
+    pub fn active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Appends one snapshot as a chunked checkpoint. Returns `true` when
+    /// every chunk landed durably.
+    pub fn append(&mut self, snapshot: &[u8]) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return false;
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        for payload in encode_chunks(seq, snapshot) {
+            if let Err(e) = journal.append(&payload) {
+                warn_once(
+                    "checkpoint-degrade",
+                    &format!(
+                        "checkpoint append failed ({e}); continuing WITHOUT \
+                         checkpointing — a crash from here on restarts from \
+                         the last durable checkpoint"
+                    ),
+                );
+                // A partial chunk group is already rolled back (or will
+                // be discarded by reassembly); older complete
+                // checkpoints on disk stay usable.
+                self.journal = None;
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_snapshot_is_one_chunk() {
+        let recs = encode_chunks(3, b"hello");
+        assert_eq!(recs.len(), 1);
+        let (seq, chunk, total, body) = decode_chunk(&recs[0]).expect("decodes");
+        assert_eq!((seq, chunk, total, body), (3, 0, 1, &b"hello"[..]));
+    }
+
+    #[test]
+    fn chunked_snapshot_reassembles_exactly() {
+        let snapshot: Vec<u8> = (0..(CHUNK * 2 + 7)).map(|i| i as u8).collect();
+        let recs = encode_chunks(9, &snapshot);
+        assert_eq!(recs.len(), 3);
+        let rec = reassemble(&recs);
+        assert_eq!(rec.next_seq, 10);
+        assert_eq!(rec.snapshots.len(), 1);
+        assert_eq!(rec.snapshots[0].0, 9);
+        assert_eq!(rec.snapshots[0].1, snapshot);
+    }
+
+    #[test]
+    fn missing_tail_chunk_drops_the_whole_checkpoint() {
+        let snapshot = vec![0xAB; CHUNK + 1];
+        let mut records = encode_chunks(0, b"old");
+        let mut torn = encode_chunks(1, &snapshot);
+        torn.pop();
+        records.extend(torn);
+        let rec = reassemble(&records);
+        assert_eq!(rec.snapshots.len(), 1);
+        assert_eq!(rec.snapshots[0], (0, b"old".to_vec()));
+        // The torn seq still advances the stamp so a continued run never
+        // reuses it.
+        assert_eq!(rec.next_seq, 2);
+    }
+
+    #[test]
+    fn malformed_records_are_skipped_not_fatal() {
+        let mut records = vec![vec![1, 2, 3]]; // shorter than a header
+        records.extend(encode_chunks(4, b"good"));
+        records.push(vec![0; CHUNK_HEADER]); // total == 0
+        let rec = reassemble(&records);
+        assert_eq!(rec.snapshots, vec![(4, b"good".to_vec())]);
+    }
+
+    #[test]
+    fn interrupted_group_then_fresh_group_recovers() {
+        let big = vec![7u8; CHUNK + 5];
+        let mut records: Vec<Vec<u8>> = encode_chunks(0, &big)[..1].to_vec();
+        records.extend(encode_chunks(1, b"fresh"));
+        let rec = reassemble(&records);
+        assert_eq!(rec.snapshots, vec![(1, b"fresh".to_vec())]);
+        assert_eq!(rec.next_seq, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let recs = encode_chunks(0, b"");
+        assert_eq!(recs.len(), 1);
+        let rec = reassemble(&recs);
+        assert_eq!(rec.snapshots, vec![(0, Vec::new())]);
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod args;
 pub mod cells;
+pub mod checkpoint;
 pub mod drain;
 pub mod output;
 pub mod worker;
@@ -47,6 +48,9 @@ pub enum CliError {
     /// A sweep cell failed past its retry budget and `--keep-going` was
     /// not given; the message names the first failing cell.
     Sweep(String),
+    /// The simulation core reported an internal error (invariant
+    /// breach) instead of completing the run.
+    Sim(String),
 }
 
 impl fmt::Display for CliError {
@@ -56,6 +60,7 @@ impl fmt::Display for CliError {
             CliError::Config(e) => write!(f, "{e}"),
             CliError::Journal(e) => write!(f, "{e}"),
             CliError::Sweep(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
         }
     }
 }
@@ -165,9 +170,19 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
     let done = ExecOutcome::completed;
     match &cli.command {
         Command::Help => Ok(done(args::USAGE.to_string())),
-        Command::Run(cfg) => {
+        Command::Run {
+            cfg,
+            checkpoint,
+            checkpoint_every,
+            resume_run,
+        } => {
             cfg.validate()?;
-            let report = Simulation::new((**cfg).clone()).run().report;
+            let report = run_single(
+                (**cfg).clone(),
+                checkpoint.as_deref(),
+                *checkpoint_every,
+                resume_run.as_deref(),
+            )?;
             Ok(done(render(&[Row::ok(cfg.scheme, None, report)])))
         }
         Command::Compare(cfg) => {
@@ -192,6 +207,8 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
             isolate,
             cell_deadline,
             cell_mem_mb,
+            checkpoint,
+            checkpoint_every,
         } => {
             let cells = build_cells(base, param, values)?;
             let outcome = run_sweep(
@@ -206,6 +223,7 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
                         deadline: *cell_deadline,
                         mem_limit_bytes: cell_mem_mb.map(|mb| mb << 20),
                     },
+                    checkpoint: checkpoint.as_deref().map(|dir| (dir, *checkpoint_every)),
                 },
             )?;
             match outcome {
@@ -235,6 +253,106 @@ pub fn execute_outcome(cli: &Cli) -> Result<ExecOutcome, CliError> {
             }
         }
     }
+}
+
+/// Runs one validated configuration, optionally checkpointing every
+/// `every` events into `ckpt` and/or resuming from the newest good
+/// checkpoint in `resume_from` (see [`checkpoint`] for the format and
+/// the fallback ladder).
+///
+/// Resume semantics are total: a missing file, an empty journal or a
+/// journal whose every checkpoint is corrupt all degrade to a fresh run
+/// with a warning. Only a *fingerprint* mismatch — the file belongs to a
+/// different configuration or binary — refuses, because silently
+/// restarting a different run is worse than stopping.
+fn run_single(
+    cfg: SimConfig,
+    ckpt: Option<&std::path::Path>,
+    every: u64,
+    resume_from: Option<&std::path::Path>,
+) -> Result<grococa_core::Report, CliError> {
+    let fp = checkpoint::fingerprint(&cfg);
+    let mut journal: Option<Journal> = None;
+    let mut next_seq = 0u64;
+    let mut resumed: Option<grococa_core::ResumedSimulation> = None;
+
+    if let Some(rp) = resume_from {
+        if rp.exists() {
+            let recovered = Journal::open_or_create(rp, &fp)?;
+            if let Some(warning) = &recovered.warning {
+                warn_once("checkpoint-truncated", warning);
+            }
+            let rec = checkpoint::reassemble(&recovered.records);
+            next_seq = rec.next_seq;
+            match checkpoint::latest_usable(&cfg, rp, &rec.snapshots) {
+                Some((seq, r)) => {
+                    eprintln!(
+                        "note: resuming from checkpoint {seq} in {} \
+                         ({} events already simulated)",
+                        rp.display(),
+                        r.events_fired(),
+                    );
+                    resumed = Some(r);
+                }
+                None => warn_once(
+                    "checkpoint-none",
+                    &format!("no usable checkpoint in {}; starting fresh", rp.display()),
+                ),
+            }
+            // Same file for --resume-run and --checkpoint: keep appending
+            // to the journal we just recovered.
+            if ckpt == Some(rp) {
+                journal = Some(recovered.journal);
+            }
+        } else {
+            warn_once(
+                "checkpoint-missing",
+                &format!(
+                    "--resume-run {}: no such file; starting fresh",
+                    rp.display()
+                ),
+            );
+        }
+    }
+    if journal.is_none() {
+        if let Some(path) = ckpt {
+            journal = Some(Journal::create(path, &fp)?);
+            next_seq = 0;
+        }
+    }
+
+    // Chaos seam: scripted disk faults between the checkpoint journal
+    // and its file, exactly as for sweep result journals.
+    if let (Some(j), Ok(spec)) = (journal.as_mut(), std::env::var(CHAOS_JOURNAL_ENV)) {
+        let script = FaultScript::parse(&spec).map_err(|e| {
+            CliError::Args(args::ArgError(format!("{CHAOS_JOURNAL_ENV}={spec:?}: {e}")))
+        })?;
+        j.wrap_backend(|inner| Box::new(FaultyBackend::new(inner, script)));
+    }
+
+    let mut writer = checkpoint::Writer::new(journal, next_seq);
+    let every = if writer.active() { every } else { 0 };
+    let mut sink = |bytes: &[u8]| {
+        writer.append(bytes);
+    };
+    // `GROCOCA_TIMING=1` prints a throughput line to stderr (stdout
+    // stays byte-identical, so timing never perturbs CSV comparisons).
+    // This is how BENCH_checkpoint.json measures checkpoint overhead.
+    let timing_from = std::env::var_os("GROCOCA_TIMING").map(|_| Instant::now());
+    let result = match resumed {
+        Some(r) => r.try_run_inspect_checkpointed(every, &mut sink),
+        None => Simulation::new(cfg).try_run_inspect_checkpointed(every, &mut sink),
+    };
+    let (mut out, _sim) = result.map_err(|e| CliError::Sim(e.to_string()))?;
+    if let Some(started) = timing_from {
+        let elapsed = started.elapsed().as_secs_f64();
+        out.record_wall_time(elapsed);
+        eprintln!(
+            "timing: {} events in {elapsed:.2}s ({:.0} events/sec)",
+            out.events, out.events_per_sec
+        );
+    }
+    Ok(out.report)
 }
 
 /// Builds and validates the full sweep grid up front: a bad cell aborts
@@ -288,6 +406,9 @@ struct SweepSettings<'a> {
     keep_going: bool,
     isolate: bool,
     isolation: worker::Isolation,
+    /// Per-cell checkpoint directory + cadence (`--checkpoint DIR`
+    /// `--checkpoint-every N`; isolate mode only).
+    checkpoint: Option<(&'a std::path::Path, u64)>,
 }
 
 /// How a sweep ended.
@@ -435,6 +556,23 @@ fn run_sweep(
         journal.wrap_backend(|inner| Box::new(FaultyBackend::new(inner, script)));
     }
 
+    // Per-cell checkpointing is an optimisation: a directory that cannot
+    // be created degrades with a warning, it never aborts the sweep.
+    let mut cell_checkpoint = settings.checkpoint;
+    if let Some((dir, _)) = cell_checkpoint {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            warn_once(
+                "checkpoint-dir",
+                &format!(
+                    "cannot create checkpoint directory {} ({e}); \
+                     cells will run without checkpointing",
+                    dir.display()
+                ),
+            );
+            cell_checkpoint = None;
+        }
+    }
+
     let journal = SweepJournal::new(journal, settings.keep_going);
     let chaos = chaos_cells();
     let mut opts = SuperviseOptions::with_jobs(grococa_par::jobs_from_env());
@@ -444,7 +582,7 @@ fn run_sweep(
 
     let attempt = |&cell: &usize, _idx: usize| -> Result<grococa_core::Report, AttemptFailure> {
         let result = if settings.isolate {
-            worker::attempt_isolated(cell, fingerprint_hash, &settings.isolation)
+            worker::attempt_isolated(cell, fingerprint_hash, &settings.isolation, cell_checkpoint)
         } else {
             let started = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| {
@@ -471,6 +609,11 @@ fn run_sweep(
         if let Ok(report) = &result {
             // Write-ahead: the cell is durable before it counts as done.
             journal.append(&cells::encode_ok(cell, report));
+            // The cell result is durable; its mid-run checkpoint file
+            // has nothing left to protect.
+            if let Some((dir, _)) = cell_checkpoint {
+                std::fs::remove_file(worker::cell_checkpoint_path(dir, cell)).ok();
+            }
         }
         result
     };

@@ -102,6 +102,7 @@ fn main() -> ExitCode {
                 grococa_cli::CliError::Config(_) => ExitCode::from(2),
                 grococa_cli::CliError::Journal(_) => ExitCode::FAILURE,
                 grococa_cli::CliError::Sweep(_) => ExitCode::FAILURE,
+                grococa_cli::CliError::Sim(_) => ExitCode::FAILURE,
             }
         }
     }

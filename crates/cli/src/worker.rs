@@ -22,6 +22,7 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use grococa_core::{Report, Simulation};
+use grococa_journal::Journal;
 use grococa_par::{payload_text, AttemptFailure, FailureKind};
 
 use crate::args::{parse_args, Command as CliCommand};
@@ -45,6 +46,28 @@ pub const CHAOS_HANG_ENV: &str = "GROCOCA_CHAOS_HANG_CELLS";
 /// Chaos hook: comma-separated cell indices that allocate without bound
 /// inside the worker — the target for RSS-ceiling-kill tests.
 pub const CHAOS_BLOAT_ENV: &str = "GROCOCA_CHAOS_BLOAT_CELLS";
+
+/// Env var carrying the worker's per-cell checkpoint journal path
+/// (set by the parent from `--checkpoint DIR`).
+pub const WORKER_CKPT_ENV: &str = "GROCOCA_WORKER_CKPT";
+
+/// Env var carrying the worker's checkpoint cadence in events.
+pub const WORKER_CKPT_EVERY_ENV: &str = "GROCOCA_WORKER_CKPT_EVERY";
+
+/// Chaos hook: comma-separated cell indices whose worker exits abruptly
+/// (no unwinding, like a kill) right after its *first* checkpoint lands
+/// durably — but only when the run started fresh, so the supervised
+/// retry deterministically exercises the resume-from-checkpoint path.
+pub const CHAOS_CKPT_CRASH_ENV: &str = "GROCOCA_CHAOS_CKPT_CRASH";
+
+/// Exit code of the chaos crash-after-checkpoint hook: distinct from
+/// success, panic (101) and protocol violations (96).
+pub const CHAOS_CKPT_CRASH_EXIT: i32 = 27;
+
+/// The checkpoint journal path for one sweep cell under `dir`.
+pub(crate) fn cell_checkpoint_path(dir: &std::path::Path, cell: usize) -> std::path::PathBuf {
+    dir.join(format!("cell-{cell}.gcc"))
+}
 
 /// Exit code a worker uses for protocol violations (unparsable argv,
 /// fingerprint mismatch, out-of-range cell): distinct from both success
@@ -124,10 +147,10 @@ fn run_worker_inner(cell: usize, argv: &[String]) -> Result<u8, String> {
             !chaos_fail.contains(&cell),
             "chaos hook: injected panic for sweep cell {cell}"
         );
-        Simulation::new(cfg).run().report
+        run_cell(cfg, cell)
     }));
     match outcome {
-        Ok(report) => {
+        Ok(Ok(report)) => {
             let payload = cells::encode_ok(cell, &report);
             let mut stdout = std::io::stdout().lock();
             stdout
@@ -136,11 +159,99 @@ fn run_worker_inner(cell: usize, argv: &[String]) -> Result<u8, String> {
                 .map_err(|e| format!("writing result payload: {e}"))?;
             Ok(0)
         }
+        Ok(Err(message)) => {
+            eprintln!("simulation error: {message}");
+            Ok(101)
+        }
         Err(payload) => {
             eprintln!("{}", payload_text(payload.as_ref()));
             Ok(101)
         }
     }
+}
+
+/// Runs one cell's simulation, resuming from and writing to the per-cell
+/// checkpoint journal when the parent configured one ([`WORKER_CKPT_ENV`]).
+///
+/// Checkpointing here is pure optimisation and every failure around it
+/// degrades: a stale or corrupt checkpoint file is recycled, an
+/// uncreatable journal means the cell simply runs un-checkpointed. The
+/// one thing that must never happen is a cell failing *because of* its
+/// checkpoint.
+fn run_cell(cfg: grococa_core::SimConfig, cell: usize) -> Result<Report, String> {
+    let path = std::env::var(WORKER_CKPT_ENV)
+        .ok()
+        .filter(|p| !p.is_empty())
+        .map(std::path::PathBuf::from);
+    let Some(path) = path else {
+        return Ok(Simulation::new(cfg).run().report);
+    };
+    let every: u64 = std::env::var(WORKER_CKPT_EVERY_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(crate::args::DEFAULT_CHECKPOINT_EVERY);
+    let fp = crate::checkpoint::fingerprint(&cfg);
+
+    let mut resumed = None;
+    let mut journal = None;
+    let mut next_seq = 0u64;
+    if path.exists() {
+        match Journal::open_or_create(&path, &fp) {
+            Ok(recovered) => {
+                let rec = crate::checkpoint::reassemble(&recovered.records);
+                next_seq = rec.next_seq;
+                if let Some((seq, r)) =
+                    crate::checkpoint::latest_usable(&cfg, &path, &rec.snapshots)
+                {
+                    eprintln!(
+                        "note: cell {cell} resuming from checkpoint {seq} \
+                         ({} events already simulated)",
+                        r.events_fired()
+                    );
+                    resumed = Some(r);
+                }
+                journal = Some(recovered.journal);
+            }
+            Err(e) => {
+                // A leftover file from another sweep shape or binary:
+                // recycle it rather than refusing the cell.
+                eprintln!(
+                    "warning: cell {cell} checkpoint {} unusable ({e}); recreating",
+                    path.display()
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+    if journal.is_none() {
+        match Journal::create(&path, &fp) {
+            Ok(j) => journal = Some(j),
+            Err(e) => eprintln!(
+                "warning: cell {cell} cannot create checkpoint {} ({e}); \
+                 running without checkpointing",
+                path.display()
+            ),
+        }
+    }
+
+    let crash_after_first =
+        resumed.is_none() && env_cell_list(CHAOS_CKPT_CRASH_ENV).contains(&cell);
+    let mut writer = crate::checkpoint::Writer::new(journal, next_seq);
+    let every = if writer.active() { every } else { 0 };
+    let mut sink = |bytes: &[u8]| {
+        let landed = writer.append(bytes);
+        if landed && crash_after_first {
+            // Simulates a mid-run kill with one checkpoint durable; the
+            // supervised retry must resume, not restart.
+            eprintln!("chaos hook: cell {cell} exiting after first durable checkpoint");
+            std::process::exit(CHAOS_CKPT_CRASH_EXIT); // tidy:allow(exit-discipline): the chaos hook must die abruptly mid-run, like the kill it stands in for
+        }
+    };
+    let result = match resumed {
+        Some(r) => r.try_run_inspect_checkpointed(every, &mut sink),
+        None => Simulation::new(cfg).try_run_inspect_checkpointed(every, &mut sink),
+    };
+    result.map(|(out, _)| out.report).map_err(|e| e.to_string())
 }
 
 /// Enforced limits for one isolated cell.
@@ -174,17 +285,30 @@ pub(crate) fn attempt_isolated(
     cell: usize,
     fingerprint_hash: u64,
     iso: &Isolation,
+    checkpoint: Option<(&std::path::Path, u64)>,
 ) -> Result<Report, AttemptFailure> {
     let exe = std::env::current_exe()
         .map_err(|e| AttemptFailure::panic(format!("locating worker executable: {e}")))?;
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut child = Command::new(exe)
-        .args(&argv)
+    let mut cmd = Command::new(exe);
+    cmd.args(&argv)
         .env(WORKER_CELL_ENV, cell.to_string())
         .env(WORKER_FPRINT_ENV, format!("{fingerprint_hash:016x}"))
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
+        .stderr(Stdio::piped());
+    match checkpoint {
+        Some((dir, every)) => {
+            cmd.env(WORKER_CKPT_ENV, cell_checkpoint_path(dir, cell))
+                .env(WORKER_CKPT_EVERY_ENV, every.to_string());
+        }
+        None => {
+            // Never let a stale ambient env turn checkpointing on.
+            cmd.env_remove(WORKER_CKPT_ENV)
+                .env_remove(WORKER_CKPT_EVERY_ENV);
+        }
+    }
+    let mut child = cmd
         .spawn()
         .map_err(|e| AttemptFailure::panic(format!("spawning worker: {e}")))?;
     let started = Instant::now();

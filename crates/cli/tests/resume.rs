@@ -33,7 +33,10 @@ fn grococa(args: &[&str], jobs: &str) -> Command {
         .env_remove(grococa_cli::CHAOS_JOURNAL_ENV)
         .env_remove(grococa_cli::worker::CHAOS_HANG_ENV)
         .env_remove(grococa_cli::worker::CHAOS_BLOAT_ENV)
+        .env_remove(grococa_cli::worker::CHAOS_CKPT_CRASH_ENV)
         .env_remove(grococa_cli::worker::WORKER_CELL_ENV)
+        .env_remove(grococa_cli::worker::WORKER_CKPT_ENV)
+        .env_remove(grococa_cli::worker::WORKER_CKPT_EVERY_ENV)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
     cmd
@@ -482,6 +485,273 @@ fn second_signal_kills_hung_isolated_cell_and_resume_recovers() {
         stderr(&resumed)
     );
     assert_eq!(stdout(&resumed), stdout(&clean));
+}
+
+// ---- run-level checkpoint/restore (`--checkpoint`/`--resume-run`) ----
+
+/// A single run long enough (with fine-grained checkpointing) to open a
+/// wide kill window: ~1.5 s in debug builds, dozens of checkpoints.
+const CKPT_RUN: &[&str] = &[
+    "run",
+    "--clients",
+    "15",
+    "--requests",
+    "50",
+    "--faults",
+    "chaos",
+    "--csv",
+];
+
+fn with_ckpt(base: &[&str], journal: &Path, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    v.push("--checkpoint".into());
+    v.push(journal.display().to_string());
+    v.push("--checkpoint-every".into());
+    v.push("500".into());
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+#[test]
+fn checkpointed_run_is_byte_identical_to_plain_run() {
+    let dir = scratch("ckpt-identity");
+    let journal = dir.join("run.gcc");
+
+    let plain = run(CKPT_RUN, "1");
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    let ckpt = run(&as_strs(&with_ckpt(CKPT_RUN, &journal, &[])), "1");
+    assert!(ckpt.status.success(), "{}", stderr(&ckpt));
+    assert_eq!(
+        stdout(&plain),
+        stdout(&ckpt),
+        "--checkpoint changed run bytes"
+    );
+    assert!(journal.exists(), "checkpoint journal was never written");
+}
+
+#[test]
+fn kill_nine_then_resume_run_is_byte_identical_to_uninterrupted() {
+    let dir = scratch("ckpt-kill-resume");
+    let journal = dir.join("run.gcc");
+
+    let clean = run(CKPT_RUN, "1");
+    assert!(clean.status.success(), "{}", stderr(&clean));
+
+    // Start the checkpointing run, wait until at least two full
+    // snapshots are durable (~1.4 MiB each for this config), SIGKILL it.
+    let args = with_ckpt(CKPT_RUN, &journal, &[]);
+    let mut child = grococa(&as_strs(&args), "1").spawn().expect("spawn run");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut finished_first = false;
+    loop {
+        let bytes = fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        if bytes > 3_500_000 {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            finished_first = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "checkpoint journal never grew past two snapshots"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill(); // SIGKILL: no destructors, no final fsync
+    let _ = child.wait();
+
+    // Resume must continue mid-run (not restart) and render exactly the
+    // uninterrupted bytes; it keeps checkpointing into the same file.
+    let resume_args = with_ckpt(
+        CKPT_RUN,
+        &journal,
+        &["--resume-run", &journal.display().to_string()],
+    );
+    let resumed = run(&as_strs(&resume_args), "1");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&clean),
+        "resumed run is not byte-identical to the uninterrupted run"
+    );
+    if !finished_first {
+        assert!(
+            stderr(&resumed).contains("resuming from checkpoint"),
+            "resume restarted instead of continuing: {}",
+            stderr(&resumed)
+        );
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_tail_falls_back_and_still_matches() {
+    let dir = scratch("ckpt-corrupt-tail");
+    let journal = dir.join("run.gcc");
+
+    let clean = run(CKPT_RUN, "1");
+    let full = run(&as_strs(&with_ckpt(CKPT_RUN, &journal, &[])), "1");
+    assert!(clean.status.success() && full.status.success());
+
+    // Damage the newest checkpoint: resume must fall back to an older
+    // one and still complete byte-identically.
+    let mut bytes = fs::read(&journal).expect("read checkpoint journal");
+    let at = bytes.len() - 100;
+    bytes[at] ^= 0x40;
+    fs::write(&journal, &bytes).expect("rewrite checkpoint journal");
+
+    let args = with_flags(CKPT_RUN, &["--resume-run", &journal.display().to_string()]);
+    let resumed = run(&as_strs(&args), "1");
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(stdout(&resumed), stdout(&clean));
+    assert!(
+        stderr(&resumed).contains("resuming from checkpoint"),
+        "fallback should still resume from an older checkpoint: {}",
+        stderr(&resumed)
+    );
+}
+
+#[test]
+fn wholly_corrupt_checkpoints_degrade_to_a_fresh_run() {
+    let dir = scratch("ckpt-corrupt-all");
+    let journal = dir.join("run.gcc");
+
+    let clean = run(CKPT_RUN, "1");
+    let full = run(&as_strs(&with_ckpt(CKPT_RUN, &journal, &[])), "1");
+    assert!(clean.status.success() && full.status.success());
+
+    // Flip a byte in the first record: the journal scanner discards the
+    // whole suffix, leaving no usable checkpoint at all.
+    let mut bytes = fs::read(&journal).expect("read checkpoint journal");
+    bytes[100] ^= 0x01;
+    fs::write(&journal, &bytes).expect("rewrite checkpoint journal");
+
+    let args = with_flags(CKPT_RUN, &["--resume-run", &journal.display().to_string()]);
+    let resumed = run(&as_strs(&args), "1");
+    assert!(
+        resumed.status.success(),
+        "an unusable checkpoint file must degrade, not fail: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(stdout(&resumed), stdout(&clean));
+    assert!(
+        stderr(&resumed).contains("starting fresh"),
+        "{}",
+        stderr(&resumed)
+    );
+}
+
+#[test]
+fn resume_run_under_a_different_config_is_refused() {
+    let dir = scratch("ckpt-fingerprint");
+    let journal = dir.join("run.gcc");
+
+    let full = run(&as_strs(&with_ckpt(CKPT_RUN, &journal, &[])), "1");
+    assert!(full.status.success());
+
+    // Same file, different --clients: the config fingerprint must refuse.
+    let other: Vec<String> = CKPT_RUN
+        .iter()
+        .map(|s| if *s == "15" { "16" } else { s }.to_string())
+        .collect();
+    let args = with_flags(
+        &as_strs(&other),
+        &["--resume-run", &journal.display().to_string()],
+    );
+    let refused = run(&as_strs(&args), "1");
+    assert_eq!(refused.status.code(), Some(1), "{}", stderr(&refused));
+    assert!(
+        stderr(&refused).contains("fingerprint"),
+        "refusal must explain the mismatch: {}",
+        stderr(&refused)
+    );
+}
+
+#[test]
+fn missing_resume_run_file_warns_and_runs_fresh() {
+    let dir = scratch("ckpt-missing");
+    let nowhere = dir.join("absent.gcc");
+
+    let clean = run(CKPT_RUN, "1");
+    let args = with_flags(CKPT_RUN, &["--resume-run", &nowhere.display().to_string()]);
+    let fresh = run(&as_strs(&args), "1");
+    assert!(fresh.status.success(), "{}", stderr(&fresh));
+    assert_eq!(stdout(&fresh), stdout(&clean));
+    assert!(
+        stderr(&fresh).contains("no such file"),
+        "{}",
+        stderr(&fresh)
+    );
+}
+
+#[test]
+fn checkpoint_flags_are_validated() {
+    // --checkpoint-every without --checkpoint.
+    let out = run(&["run", "--checkpoint-every", "100"], "1");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("requires --checkpoint"));
+    // sweep --checkpoint without --isolate.
+    let out = run(&as_strs(&with_flags(SMALL, &["--checkpoint", "d"])), "1");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("requires --isolate"),
+        "{}",
+        stderr(&out)
+    );
+    // --resume-run is run-only.
+    let out = run(&as_strs(&with_flags(SMALL, &["--resume-run", "f"])), "1");
+    assert_eq!(out.status.code(), Some(1));
+    // compare takes no checkpoint flags.
+    let out = run(&["compare", "--checkpoint", "f"], "1");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn crashed_isolated_cell_resumes_from_its_checkpoint_and_matches() {
+    let dir = scratch("ckpt-cell-crash");
+    let ckpts = dir.join("ckpts");
+
+    let clean = run(SMALL, "2");
+    assert!(clean.status.success());
+
+    // Cell 1's worker exits abruptly right after its first durable
+    // checkpoint (fresh starts only): the supervised retry must resume
+    // that cell mid-run and the grid must render identical bytes.
+    let args = with_flags(
+        SMALL,
+        &[
+            "--isolate",
+            "--checkpoint",
+            &ckpts.display().to_string(),
+            "--checkpoint-every",
+            "300",
+        ],
+    );
+    let mut cmd = grococa(&as_strs(&args), "2");
+    cmd.env(grococa_cli::worker::CHAOS_CKPT_CRASH_ENV, "1");
+    let out = cmd.output().expect("spawn grococa");
+    assert!(
+        out.status.success(),
+        "crash-then-resume sweep failed: {}",
+        stderr(&out)
+    );
+    assert_eq!(
+        stdout(&out),
+        stdout(&clean),
+        "resumed cell changed sweep bytes"
+    );
+    // Settled cells delete their checkpoint files.
+    let leftovers: Vec<_> = fs::read_dir(&ckpts)
+        .map(|d| d.filter_map(Result::ok).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "checkpoint files must be removed once cells settle: {leftovers:?}"
+    );
 }
 
 // ---- injected journal disk faults ------------------------------------

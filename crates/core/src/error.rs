@@ -53,6 +53,15 @@ pub enum SimError {
         /// The GroCoca-only path that was reached.
         context: &'static str,
     },
+    /// An event referenced a host index outside the configured
+    /// population — every event carries an index minted when the host
+    /// was created, so this can only be a simulator bug.
+    HostIndex {
+        /// The out-of-range index.
+        mh: usize,
+        /// The path that dereferenced it.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +84,9 @@ impl fmt::Display for SimError {
                     f,
                     "GroCoca-only state touched under another scheme ({context})"
                 )
+            }
+            SimError::HostIndex { mh, context } => {
+                write!(f, "host index {mh} out of range ({context})")
             }
         }
     }

@@ -52,6 +52,7 @@ mod fault;
 mod host;
 mod metrics;
 mod sim;
+mod snapshot;
 mod tcg;
 mod trace;
 
@@ -62,6 +63,7 @@ pub use grococa_cache::ReplacementPolicy;
 pub use grococa_mobility::MotionModel;
 pub use host::{Host, Pending, Phase};
 pub use metrics::{Metrics, Outcome, Report};
-pub use sim::{RunOutput, Simulation};
+pub use sim::{ResumedSimulation, RunOutput, Simulation};
+pub use snapshot::SnapshotError;
 pub use tcg::{MembershipChange, TcgDirectory};
 pub use trace::{TraceKind, TraceRecord, Tracer};

@@ -27,7 +27,7 @@ use crate::trace::{TraceKind, Tracer};
 /// re-validate against the current world (generation numbers, connectivity)
 /// so stale deliveries are ignored, never mis-applied.
 #[derive(Debug, Clone)]
-enum Ev {
+pub(crate) enum Ev {
     /// A host wakes up to issue its next request.
     NextRequest { mh: usize },
     /// A broadcast search request reaches a peer.
@@ -194,6 +194,85 @@ impl RunOutput {
     }
 }
 
+/// A mid-run simulation reconstructed from a checkpoint snapshot by
+/// [`Simulation::resume`], paired with its restored event queue.
+///
+/// Continue it with [`ResumedSimulation::run`] (or the inspecting /
+/// checkpointing variants); the remainder of the run is byte-identical
+/// to the uninterrupted original.
+#[derive(Debug)]
+pub struct ResumedSimulation {
+    pub(crate) sim: Simulation,
+    pub(crate) sched: Scheduler<Ev>,
+}
+
+impl ResumedSimulation {
+    /// Runs the resumed simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal invariant breaks mid-run, like
+    /// [`Simulation::run`].
+    pub fn run(self) -> RunOutput {
+        self.run_inspect().0
+    }
+
+    /// Like [`ResumedSimulation::run`] but returns the whole world
+    /// alongside the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal invariant breaks mid-run.
+    pub fn run_inspect(self) -> (RunOutput, Simulation) {
+        self.try_run_inspect()
+            .expect("simulation invariant violated")
+    }
+
+    /// Continues the run, surfacing invariant violations as [`SimError`].
+    pub fn try_run_inspect(self) -> Result<(RunOutput, Simulation), SimError> {
+        let ResumedSimulation { mut sim, mut sched } = self;
+        sim.drive(&mut sched, None)?;
+        Ok(sim.finish(sched))
+    }
+
+    /// Continues the run while emitting fresh checkpoints every `every`
+    /// fired events, exactly like
+    /// [`Simulation::try_run_inspect_checkpointed`]. Because the restored
+    /// event counter picks up where the original left off, checkpoint
+    /// instants coincide with the uninterrupted run's.
+    pub fn try_run_inspect_checkpointed(
+        self,
+        every: u64,
+        sink: &mut dyn FnMut(&[u8]),
+    ) -> Result<(RunOutput, Simulation), SimError> {
+        let ResumedSimulation { mut sim, mut sched } = self;
+        sim.drive(&mut sched, Some((every, sink)))?;
+        Ok(sim.finish(sched))
+    }
+
+    /// Re-encodes the restored state as a fresh snapshot. A decode
+    /// followed by this is byte-identical to the snapshot decoded — the
+    /// round-trip property the proptest suite pins down.
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode(&self.sim, &self.sched)
+    }
+
+    /// Simulated time the snapshot was taken at (where the run resumes).
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Events already dispatched before the snapshot.
+    pub fn events_fired(&self) -> u64 {
+        self.sched.events_fired()
+    }
+
+    /// The configuration the resumed run continues under.
+    pub fn config(&self) -> &SimConfig {
+        self.sim.config()
+    }
+}
+
 /// One configured simulation instance.
 ///
 /// # Examples
@@ -209,38 +288,38 @@ impl RunOutput {
 /// ```
 #[derive(Debug)]
 pub struct Simulation {
-    cfg: SimConfig,
-    field: MobilityField,
-    p2p: P2pChannel,
-    server: ServerChannel,
-    pattern: AccessPattern,
-    db: ServerDb,
-    dir: Option<TcgDirectory>,
-    hosts: Vec<Host>,
-    push: PushSchedule,
-    popularity: Vec<u64>,
-    low_activity: Vec<bool>,
-    ndp: Option<Ndp>,
-    active: Vec<bool>,
-    host_rngs: Vec<SimRng>,
-    rng_updates: SimRng,
+    pub(crate) cfg: SimConfig,
+    pub(crate) field: MobilityField,
+    pub(crate) p2p: P2pChannel,
+    pub(crate) server: ServerChannel,
+    pub(crate) pattern: AccessPattern,
+    pub(crate) db: ServerDb,
+    pub(crate) dir: Option<TcgDirectory>,
+    pub(crate) hosts: Vec<Host>,
+    pub(crate) push: PushSchedule,
+    pub(crate) popularity: Vec<u64>,
+    pub(crate) low_activity: Vec<bool>,
+    pub(crate) ndp: Option<Ndp>,
+    pub(crate) active: Vec<bool>,
+    pub(crate) host_rngs: Vec<SimRng>,
+    pub(crate) rng_updates: SimRng,
     /// The dedicated fault-injection stream (substream 4). All fault
     /// draws come from here in event-dispatch order, so a
     /// `(seed, fault_profile)` pair replays byte-identically; the
     /// zero-fault profile never draws from it.
-    fault_rng: SimRng,
+    pub(crate) fault_rng: SimRng,
     /// Cached `cfg.faults.active()` — the single gate on every fault
     /// draw and every hardening timer.
-    faults_active: bool,
-    fstats: FaultStats,
-    metrics: Metrics,
-    tracer: Option<Tracer>,
-    last_event_time: SimTime,
-    warm: bool,
-    warmed_at: SimTime,
-    full_caches: usize,
-    completed_recorded: u64,
-    target_completed: u64,
+    pub(crate) faults_active: bool,
+    pub(crate) fstats: FaultStats,
+    pub(crate) metrics: Metrics,
+    pub(crate) tracer: Option<Tracer>,
+    pub(crate) last_event_time: SimTime,
+    pub(crate) warm: bool,
+    pub(crate) warmed_at: SimTime,
+    pub(crate) full_caches: usize,
+    pub(crate) completed_recorded: u64,
+    pub(crate) target_completed: u64,
     /// Reusable neighbour-query buffers (sender/destination ranges in
     /// `charge_p2p`, per-host rows elsewhere) — the geometric hot paths
     /// never allocate once these are warm.
@@ -258,6 +337,10 @@ pub struct Simulation {
     active_bits: Vec<u64>,
     csr_row: Vec<u32>,
 }
+
+/// An optional mid-run checkpoint hook threaded into the event loop: the
+/// cadence in fired events plus the sink receiving each encoded snapshot.
+type CheckpointHook<'a> = Option<(u64, &'a mut dyn FnMut(&[u8]))>;
 
 impl Simulation {
     /// Builds a simulation from a validated configuration.
@@ -441,7 +524,42 @@ impl Simulation {
     /// panicking, so embedding harnesses can quarantine a bad run.
     pub fn try_run_inspect(mut self) -> Result<(RunOutput, Simulation), SimError> {
         let mut sched: Scheduler<Ev> = Scheduler::new();
-        self.bootstrap(&mut sched);
+        self.bootstrap(&mut sched)?;
+        self.drive(&mut sched, None)?;
+        Ok(self.finish(sched))
+    }
+
+    /// Like [`Simulation::try_run_inspect`], but additionally encodes a
+    /// full [snapshot](crate::snapshot) of the run every `every` fired
+    /// events and hands the bytes to `sink`. The caller owns durability
+    /// (typically a journal append); a failing sink must not abort the
+    /// run, so the sink is infallible and swallows its own errors.
+    ///
+    /// A run resumed from any such snapshot (via
+    /// [`Simulation::resume`]) continues byte-identical to this one.
+    pub fn try_run_inspect_checkpointed(
+        mut self,
+        every: u64,
+        sink: &mut dyn FnMut(&[u8]),
+    ) -> Result<(RunOutput, Simulation), SimError> {
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        self.bootstrap(&mut sched)?;
+        self.drive(&mut sched, Some((every, sink)))?;
+        Ok(self.finish(sched))
+    }
+
+    /// The shared event loop: pops and dispatches until the deadline,
+    /// quiescence or the completion target, optionally emitting a
+    /// snapshot every `every` fired events.
+    ///
+    /// The checkpoint cadence is keyed on [`Scheduler::events_fired`],
+    /// which a restored run resumes exactly, so a resumed run emits
+    /// checkpoints at the same event counts as an uninterrupted one.
+    fn drive(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mut checkpoint: CheckpointHook<'_>,
+    ) -> Result<(), SimError> {
         let deadline = self.cfg.hang_deadline_secs.map(SimTime::from_secs_f64);
         loop {
             let next = match deadline {
@@ -449,11 +567,22 @@ impl Simulation {
                 None => sched.pop(),
             };
             let Some((_, ev)) = next else { break };
-            self.handle(&mut sched, ev)?;
+            self.handle(sched, ev)?;
             if self.completed_recorded >= self.target_completed {
                 break;
             }
+            if let Some((every, ref mut sink)) = checkpoint {
+                if every > 0 && sched.events_fired().is_multiple_of(every) {
+                    let bytes = crate::snapshot::encode(self, sched);
+                    sink(&bytes);
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Audits the quiesced world and assembles the [`RunOutput`].
+    fn finish(mut self, sched: Scheduler<Ev>) -> (RunOutput, Simulation) {
         let audit = self.audit(&sched);
         let finished_at = sched.now();
         self.metrics.recorded_duration = finished_at.saturating_sub(self.warmed_at);
@@ -474,7 +603,23 @@ impl Simulation {
             audit,
             metrics: self.metrics.clone(),
         };
-        Ok((out, self))
+        (out, self)
+    }
+
+    /// Reconstructs a mid-run simulation from a snapshot produced by a
+    /// checkpointed run of the *same* configuration.
+    ///
+    /// `cfg` must be the original run's configuration (the snapshot
+    /// records its [fingerprint](SimConfig::canonical_fingerprint) and
+    /// refuses a mismatch): all config-derived state is rebuilt from it
+    /// deterministically, then the history-dependent state is overlaid
+    /// from the snapshot bytes. The returned [`ResumedSimulation`]
+    /// continues byte-identical to the uninterrupted run.
+    pub fn resume(
+        cfg: SimConfig,
+        bytes: &[u8],
+    ) -> Result<ResumedSimulation, crate::snapshot::SnapshotError> {
+        crate::snapshot::decode(cfg, bytes)
     }
 
     /// Runs to completion and returns the collected metrics.
@@ -482,10 +627,30 @@ impl Simulation {
         self.run_inspect().0
     }
 
-    fn bootstrap(&mut self, sched: &mut Scheduler<Ev>) {
+    /// Bounds-checked host lookup: an out-of-range index is a simulator
+    /// bug surfaced as a typed [`SimError`] instead of an indexing
+    /// panic.
+    fn host(&self, mh: usize, context: &'static str) -> Result<&Host, SimError> {
+        self.hosts
+            .get(mh)
+            .ok_or(SimError::HostIndex { mh, context })
+    }
+
+    /// Mutable [`Simulation::host`].
+    fn host_mut(&mut self, mh: usize, context: &'static str) -> Result<&mut Host, SimError> {
+        self.hosts
+            .get_mut(mh)
+            .ok_or(SimError::HostIndex { mh, context })
+    }
+
+    fn bootstrap(&mut self, sched: &mut Scheduler<Ev>) -> Result<(), SimError> {
         for mh in 0..self.hosts.len() {
             let mean = self.mean_think(mh);
-            let think = self.host_rngs[mh].exponential(mean);
+            let rng = self.host_rngs.get_mut(mh).ok_or(SimError::HostIndex {
+                mh,
+                context: "bootstrap think draw",
+            })?;
+            let think = rng.exponential(mean);
             sched.schedule_at(SimTime::from_secs_f64(think), Ev::NextRequest { mh });
             if self.cfg.scheme == Scheme::GroCoca {
                 sched.schedule_at(
@@ -518,6 +683,7 @@ impl Simulation {
                 Ev::RefreshPushSchedule,
             );
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -581,7 +747,7 @@ impl Simulation {
             Ev::ExplicitUpdateAtMss { mh, sample } => {
                 self.on_explicit_update_at_mss(sched, mh, sample)
             }
-            Ev::MembershipNews { mh, changes } => self.apply_membership(sched, mh, &changes),
+            Ev::MembershipNews { mh, changes } => self.apply_membership(sched, mh, &changes)?,
             Ev::DbUpdate => self.on_db_update(sched),
             Ev::AgeIntervals => self.on_age_intervals(sched),
             Ev::WarmupCap => self.begin_recording(sched.now()),
@@ -682,16 +848,25 @@ impl Simulation {
 
     /// Arms the server-interaction watchdog on `mh`'s request (no-op
     /// under the zero-fault profile).
-    fn arm_server_watchdog(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+    fn arm_server_watchdog(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         if !self.faults_active {
-            return;
+            return Ok(());
         }
-        let attempt = self.hosts[mh].pending_mut(gen).map_or(0, |p| p.attempt);
+        let attempt = self
+            .host_mut(mh, "server watchdog")?
+            .pending_mut(gen)
+            .map_or(0, |p| p.attempt);
         let delay = self.server_retry_delay(attempt);
         let wd = sched.schedule_after(delay, Ev::ServerRetry { mh, gen });
-        if let Some(p) = self.hosts[mh].pending_mut(gen) {
+        if let Some(p) = self.host_mut(mh, "server watchdog")?.pending_mut(gen) {
             p.watchdog = Some(wd);
         }
+        Ok(())
     }
 
     /// Mid-transfer departure: `provider` drops off the network at the
@@ -745,7 +920,7 @@ impl Simulation {
             if self.warm {
                 self.metrics.retrieve_fallbacks += 1;
             }
-            self.enter_server_phase(sched, requester, gen);
+            self.enter_server_phase(sched, requester, gen)?;
             return Ok(());
         }
         self.fstats.retrieve_retries += 1;
@@ -844,18 +1019,24 @@ impl Simulation {
                 | Ev::ServerRetry { mh, gen }
                 | Ev::PushArrive { mh, gen } => Some((mh, gen)),
                 Ev::NextRequest { mh } => {
-                    wakes[mh] = true;
+                    if let Some(w) = wakes.get_mut(mh) {
+                        *w = true;
+                    }
                     None
                 }
                 Ev::Reconnect { mh } => {
-                    reconnects[mh] = true;
+                    if let Some(r) = reconnects.get_mut(mh) {
+                        *r = true;
+                    }
                     None
                 }
                 _ => None,
             };
             if let Some((mh, gen)) = request {
-                if self.hosts[mh].gen == gen {
-                    advances[mh] = true;
+                if self.hosts.get(mh).is_some_and(|h| h.gen == gen) {
+                    if let Some(a) = advances.get_mut(mh) {
+                        *a = true;
+                    }
                 }
             }
         });
@@ -865,16 +1046,22 @@ impl Simulation {
             ..AuditReport::default()
         };
         for (i, host) in self.hosts.iter().enumerate() {
+            // The flag vectors were built with one slot per host, so a
+            // miss is unreachable; `false` (the pessimistic reading)
+            // keeps the audit panic-free regardless.
+            let advanced = advances.get(i).copied().unwrap_or(false);
+            let woke = wakes.get(i).copied().unwrap_or(false);
+            let reconnecting = reconnects.get(i).copied().unwrap_or(false);
             if host.pending.is_some() {
                 report.in_flight += 1;
-                if !advances[i] {
+                if !advanced {
                     report.wedged_hosts.push(i);
                 }
             } else if !host.connected {
-                if !reconnects[i] {
+                if !reconnecting {
                     report.lost_hosts.push(i);
                 }
-            } else if !wakes[i] {
+            } else if !woke {
                 report.lost_hosts.push(i);
             }
         }
@@ -933,7 +1120,7 @@ impl Simulation {
                 self.hosts[mh].last_server_contact = now;
                 self.trace(now, mh, TraceKind::ValidationStarted);
                 sched.schedule_at(arr, Ev::ValidationRequest { mh, gen });
-                self.arm_server_watchdog(sched, mh, gen);
+                self.arm_server_watchdog(sched, mh, gen)?;
             }
             return Ok(());
         }
@@ -953,12 +1140,12 @@ impl Simulation {
             if self.faults_active && self.hosts[mh].solo_requests_left > 0 {
                 self.hosts[mh].solo_requests_left -= 1;
                 self.fstats.solo_skips += 1;
-                self.enter_server_phase(sched, mh, gen);
+                self.enter_server_phase(sched, mh, gen)?;
             } else {
                 self.start_search(sched, mh, gen, item)?;
             }
         } else {
-            self.enter_server_phase(sched, mh, gen);
+            self.enter_server_phase(sched, mh, gen)?;
         }
         Ok(())
     }
@@ -1170,7 +1357,7 @@ impl Simulation {
                 out.extend(
                     ndp.reachable_within_hops(mh, self.cfg.hop_dist)
                         .into_iter()
-                        .filter(|&(peer, _)| self.active[peer]),
+                        .filter(|&(peer, _)| self.active.get(peer).copied().unwrap_or(false)),
                 );
             }
             None => self.field.reachable_within_hops_into(
@@ -1316,7 +1503,7 @@ impl Simulation {
             if self.warm {
                 self.metrics.retrieve_fallbacks += 1;
             }
-            self.enter_server_phase(sched, requester, gen);
+            self.enter_server_phase(sched, requester, gen)?;
             return Ok(());
         }
         // Mid-transfer departure: the provider drops off the network at
@@ -1448,15 +1635,20 @@ impl Simulation {
                 }
             }
         }
-        self.enter_server_phase(sched, requester, gen);
+        self.enter_server_phase(sched, requester, gen)?;
         Ok(())
     }
 
-    fn enter_server_phase(&mut self, sched: &mut Scheduler<Ev>, mh: usize, gen: u64) {
+    fn enter_server_phase(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        mh: usize,
+        gen: u64,
+    ) -> Result<(), SimError> {
         let now = sched.now();
-        let host = &mut self.hosts[mh];
+        let host = self.host_mut(mh, "server phase")?;
         let Some(p) = host.pending_mut(gen) else {
-            return;
+            return Ok(());
         };
         p.phase = Phase::Server;
         p.timeout = None;
@@ -1471,7 +1663,7 @@ impl Simulation {
             .server
             .request_arrival(now, self.cfg.msg.server_request);
         sched.schedule_at(arr, Ev::ServerRequest { mh, gen });
-        self.arm_server_watchdog(sched, mh, gen);
+        self.arm_server_watchdog(sched, mh, gen)
     }
 
     fn on_server_request(
@@ -1528,7 +1720,7 @@ impl Simulation {
         if !matches_server {
             return Ok(());
         }
-        self.apply_membership(sched, mh, &changes);
+        self.apply_membership(sched, mh, &changes)?;
         let item = self.hosts[mh]
             .pending
             .as_ref()
@@ -1622,7 +1814,7 @@ impl Simulation {
         if !self.hosts[mh].pending_matches(gen, Phase::Validating) {
             return Ok(());
         }
-        self.apply_membership(sched, mh, &changes);
+        self.apply_membership(sched, mh, &changes)?;
         let now = sched.now();
         let item = self.hosts[mh]
             .pending
@@ -1655,7 +1847,7 @@ impl Simulation {
     ) -> Result<(), SimError> {
         let now = sched.now();
         let grococa = self.cfg.scheme == Scheme::GroCoca;
-        let host = &mut self.hosts[mh];
+        let host = self.host_mut(mh, "admission")?;
         if host.cache.contains(item) {
             host.cache.insert(item, now, expiry); // refresh in place
             return Ok(());
@@ -1672,7 +1864,7 @@ impl Simulation {
             let victim = if grococa && self.cfg.toggles.cooperative_replacement {
                 self.coop_victim(mh)?
             } else {
-                self.hosts[mh]
+                self.host(mh, "admission victim")?
                     .cache
                     .victim_key()
                     .ok_or(SimError::NoVictim { mh })?
@@ -1680,14 +1872,14 @@ impl Simulation {
             if grococa && self.cfg.delegate_singlets {
                 self.maybe_delegate(sched, mh, victim);
             }
-            let host = &mut self.hosts[mh];
+            let host = self.host_mut(mh, "admission evict")?;
             host.cache.insert_evicting(item, now, expiry, victim);
             if grococa {
                 host.note_evict(victim);
                 host.note_insert(item);
             }
         } else {
-            let host = &mut self.hosts[mh];
+            let host = self.host_mut(mh, "admission insert")?;
             host.cache.insert(item, now, expiry);
             if grococa {
                 host.note_insert(item);
@@ -2008,22 +2200,23 @@ impl Simulation {
         sched: &mut Scheduler<Ev>,
         mh: usize,
         changes: &[MembershipChange],
-    ) {
+    ) -> Result<(), SimError> {
         if changes.is_empty() {
-            return;
+            return Ok(());
         }
         let mut departed = false;
         for &change in changes {
             match change {
                 MembershipChange::Added(p) => {
-                    if self.hosts[mh].tcg.insert(p) {
-                        self.hosts[mh].outstand_sig.insert(p);
+                    let host = self.host_mut(mh, "membership add")?;
+                    if host.tcg.insert(p) {
+                        host.outstand_sig.insert(p);
                         self.trace(sched.now(), mh, TraceKind::TcgJoined { peer: p });
                         self.send_sig_request(sched, mh, p, None);
                     }
                 }
                 MembershipChange::Removed(p) => {
-                    let host = &mut self.hosts[mh];
+                    let host = self.host_mut(mh, "membership remove")?;
                     if host.tcg.remove(&p) {
                         host.outstand_sig.remove(&p);
                         host.departed_since_recollect += 1;
@@ -2036,8 +2229,13 @@ impl Simulation {
         // A departure invalidates the superimposed vector: reset and
         // recollect from the remaining members (batched by the threshold in
         // extremely dynamic networks).
-        if departed && self.hosts[mh].departed_since_recollect >= self.cfg.recollect_threshold {
-            let host = &mut self.hosts[mh];
+        if departed
+            && self
+                .host(mh, "membership recollect")?
+                .departed_since_recollect
+                >= self.cfg.recollect_threshold
+        {
+            let host = self.host_mut(mh, "membership recollect")?;
             host.departed_since_recollect = 0;
             host.peer_vector.reset();
             let members: Vec<usize> = host.tcg.iter().copied().collect();
@@ -2046,6 +2244,7 @@ impl Simulation {
                 self.broadcast_sig_request(sched, mh, Rc::new(members));
             }
         }
+        Ok(())
     }
 
     /// Point-to-point `SigRequest` from `from` to `to`.

@@ -58,16 +58,16 @@ pub struct TcgDirectory {
     delta_similarity: f64,
     omega: f64,
     /// Per-host access frequency vectors A_i (length NData).
-    access: Vec<Vec<u32>>,
+    pub(crate) access: Vec<Vec<u32>>,
     /// Flattened n×n dot products of access vectors.
-    dot: Vec<f64>,
+    pub(crate) dot: Vec<f64>,
     /// Per-host squared norms ‖A_i‖².
-    norm_sq: Vec<f64>,
+    pub(crate) norm_sq: Vec<f64>,
     /// Flattened n×n EWMA distances; NaN = no observation yet.
-    wadm: Vec<f64>,
-    last_pos: Vec<Option<Vec2>>,
-    members: Vec<BTreeSet<usize>>,
-    pending: Vec<Vec<MembershipChange>>,
+    pub(crate) wadm: Vec<f64>,
+    pub(crate) last_pos: Vec<Option<Vec2>>,
+    pub(crate) members: Vec<BTreeSet<usize>>,
+    pub(crate) pending: Vec<Vec<MembershipChange>>,
 }
 
 impl TcgDirectory {

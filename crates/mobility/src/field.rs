@@ -167,6 +167,30 @@ pub struct MobilityField {
     bfs_next: Vec<u32>,
 }
 
+/// The memoised query-cache state of a [`MobilityField`], exported by
+/// [`MobilityField::export_memo`] for run-level checkpoints. Restoring it
+/// (after warping the movers) makes the field's observable behaviour —
+/// positions, cache hit/miss accounting, grid build decisions —
+/// indistinguishable from the checkpointed run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMemo {
+    /// The instant the position cache covers, if any.
+    pub cache_t: Option<SimTime>,
+    /// The cached per-host positions (meaningful when `cache_t` is set).
+    pub cache: Vec<Vec2>,
+    /// Position-cache hits accumulated so far.
+    pub cache_hits: u64,
+    /// Position-cache misses accumulated so far.
+    pub cache_misses: u64,
+    /// The `(t, range.to_bits())` key of the built spatial index, if any.
+    pub grid_key: Option<(SimTime, u64)>,
+    /// The `(t, range.to_bits())` key last probed by a cold neighbour
+    /// query, if any.
+    pub probe_key: Option<(SimTime, u64)>,
+    /// Linear scans served for `probe_key` so far.
+    pub probe_scans: u8,
+}
+
 impl MobilityField {
     /// Creates a field of `n` hosts partitioned into ⌈n / group_size⌉ motion
     /// groups (the last group may be smaller).
@@ -332,6 +356,77 @@ impl MobilityField {
     /// one full O(n) position pass.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
+    }
+
+    /// Advances every mover's internal catch-up state to `t` without
+    /// touching the memo counters or caches.
+    ///
+    /// Every mover owns its RNG (seeded at construction) and advances by
+    /// pure monotone catch-up, so a freshly constructed field warped to
+    /// `t` answers every later query with exactly the positions — and
+    /// exactly the RNG draws — of a field that simulated its way to `t`.
+    /// This is the restore primitive for run-level checkpoints.
+    pub fn warp_to(&mut self, t: SimTime) {
+        for i in 0..self.movers.len() {
+            let _ = self.movers[i].position_at(&mut self.groups, t);
+        }
+    }
+
+    /// Exports the memoised query-cache state for checkpointing: the
+    /// position cache, its hit/miss counters, and the spatial-index and
+    /// probe keys. The grid contents themselves are not exported — they
+    /// are a deterministic function of the cached positions and are
+    /// rebuilt by [`MobilityField::restore_memo`].
+    pub fn export_memo(&self) -> FieldMemo {
+        FieldMemo {
+            cache_t: self.cache_t,
+            cache: self.cache.clone(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            grid_key: self.grid_key,
+            probe_key: self.probe_key,
+            probe_scans: self.probe_scans,
+        }
+    }
+
+    /// Restores memo state previously returned by
+    /// [`MobilityField::export_memo`] into a freshly constructed (and
+    /// warped) field of the same size, rebuilding the spatial index when
+    /// the exported key shows it was live at the cached instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host count differs.
+    pub fn restore_memo(&mut self, memo: FieldMemo) {
+        assert_eq!(
+            memo.cache.len(),
+            self.cache.len(),
+            "host count must match the checkpointed run"
+        );
+        self.cache_t = memo.cache_t;
+        self.cache = memo.cache;
+        self.cache_hits = memo.cache_hits;
+        self.cache_misses = memo.cache_misses;
+        self.grid_key = memo.grid_key;
+        self.probe_key = memo.probe_key;
+        self.probe_scans = memo.probe_scans;
+        // A grid keyed at the cached instant is live — queries can hit it
+        // without a rebuild — so reconstruct it from the restored
+        // positions. A key at an older instant is a dead memo: every
+        // future query misses it (simulation time is monotone), so the
+        // grid contents are unobservable and the key alone suffices.
+        #[cfg(not(feature = "oracle"))]
+        if let (Some(t), Some((grid_t, range_bits))) = (self.cache_t, self.grid_key) {
+            if grid_t == t {
+                let range = f64::from_bits(range_bits);
+                self.grid.rebuild(
+                    &self.cache,
+                    self.config.width,
+                    self.config.height,
+                    range * 0.5,
+                );
+            }
+        }
     }
 
     /// Position of host `i` at `t`, served from the memoised snapshot when

@@ -33,7 +33,7 @@ mod rpgm;
 mod vec2;
 mod waypoint;
 
-pub use field::{pack_active_bits, FieldConfig, MobilityField, MotionModel};
+pub use field::{pack_active_bits, FieldConfig, FieldMemo, MobilityField, MotionModel};
 pub use gauss_markov::{GaussMarkov, GaussMarkovParams};
 pub use grid::SpatialGrid;
 pub use manhattan::{Manhattan, ManhattanParams};

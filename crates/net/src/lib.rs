@@ -173,6 +173,20 @@ impl ServerChannel {
     pub fn downlink_jobs(&self) -> u64 {
         self.downlink.jobs()
     }
+
+    /// Exports the uplink and downlink facility states, for checkpointing.
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(&self) -> ((SimTime, u64, u64, u64), (SimTime, u64, u64, u64)) {
+        (self.uplink.export_state(), self.downlink.export_state())
+    }
+
+    /// Restores facility states previously returned by
+    /// [`ServerChannel::export_state`].
+    #[allow(clippy::type_complexity)]
+    pub fn restore_state(&mut self, state: ((SimTime, u64, u64, u64), (SimTime, u64, u64, u64))) {
+        self.uplink.restore_state(state.0);
+        self.downlink.restore_state(state.1);
+    }
 }
 
 /// The P2P channel: one half-duplex radio per host, common bandwidth.
@@ -248,6 +262,28 @@ impl P2pChannel {
     /// Total messages sent by `sender`'s radio.
     pub fn sends_of(&self, sender: usize) -> u64 {
         self.radios[sender].jobs()
+    }
+
+    /// Exports every radio's facility state, for checkpointing.
+    pub fn export_state(&self) -> Vec<(SimTime, u64, u64, u64)> {
+        self.radios.iter().map(Facility::export_state).collect()
+    }
+
+    /// Restores radio states previously returned by
+    /// [`P2pChannel::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio count differs.
+    pub fn restore_state(&mut self, states: &[(SimTime, u64, u64, u64)]) {
+        assert_eq!(
+            states.len(),
+            self.radios.len(),
+            "radio count must match the checkpointed run"
+        );
+        for (radio, &state) in self.radios.iter_mut().zip(states) {
+            radio.restore_state(state);
+        }
     }
 }
 

@@ -307,6 +307,35 @@ impl Ndp {
         self.missed.fill(0);
         self.up.clear();
     }
+
+    /// Exports the link table for checkpointing: the per-pair
+    /// `(linked, missed)` vectors. The sparse up-link set is fully
+    /// derivable from `linked` and is not exported.
+    pub fn export_state(&self) -> (&[bool], &[u32]) {
+        (&self.linked, &self.missed)
+    }
+
+    /// Restores a link table previously read back via
+    /// [`Ndp::export_state`], rebuilding the sparse up-link mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match this table's host count.
+    pub fn restore_state(&mut self, linked: &[bool], missed: &[u32]) {
+        let pairs = self.n * (self.n - 1) / 2;
+        assert_eq!(linked.len(), pairs, "linked vector length mismatch");
+        assert_eq!(missed.len(), pairs, "missed vector length mismatch");
+        self.linked.copy_from_slice(linked);
+        self.missed.copy_from_slice(missed);
+        self.up.clear();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if self.linked[self.pair_index(a, b)] {
+                    self.up.insert((a as u32, b as u32));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

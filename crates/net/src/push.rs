@@ -101,6 +101,12 @@ impl PushSchedule {
     pub fn items(&self) -> &[u64] {
         &self.items
     }
+
+    /// One slot's duration, for checkpointing (pairs with
+    /// [`PushSchedule::items`] to reconstruct the schedule).
+    pub fn slot_time(&self) -> SimTime {
+        self.slot_time
+    }
 }
 
 #[cfg(test)]

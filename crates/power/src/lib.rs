@@ -180,6 +180,17 @@ impl PowerMeter {
         self.discarded
     }
 
+    /// Rebuilds a meter from its category totals, as returned by the
+    /// `*_uws` getters (checkpointing support).
+    pub fn from_parts(total: f64, sent: f64, received: f64, discarded: f64) -> Self {
+        PowerMeter {
+            total,
+            sent,
+            received,
+            discarded,
+        }
+    }
+
     /// Folds another meter into this one.
     pub fn merge(&mut self, other: &PowerMeter) {
         self.total += other.total;

@@ -168,6 +168,26 @@ impl CountingFilter {
     pub fn counter(&self, pos: u32) -> u16 {
         self.counters[pos as usize]
     }
+
+    /// The full counter vector, for checkpointing.
+    pub fn counters(&self) -> &[u16] {
+        &self.counters
+    }
+
+    /// Overwrites the counter vector with one previously read back via
+    /// [`CountingFilter::counters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from σ.
+    pub fn restore_counters(&mut self, counters: &[u16]) {
+        assert_eq!(
+            counters.len(),
+            self.sigma as usize,
+            "counter vector length must equal sigma"
+        );
+        self.counters.copy_from_slice(counters);
+    }
 }
 
 #[cfg(test)]

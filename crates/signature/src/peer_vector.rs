@@ -154,6 +154,34 @@ impl PeerVector {
         self.covers(&crate::data_positions(key, self.sigma, self.k))
     }
 
+    /// The full counter vector, for checkpointing.
+    pub fn counters(&self) -> &[u32] {
+        &self.counters
+    }
+
+    /// Overwrites the counter vector with one previously read back via
+    /// [`PeerVector::counters`], recomputing the width bookkeeping
+    /// (`value_counts` and the running maximum are pure functions of the
+    /// counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from σ.
+    pub fn restore_counters(&mut self, counters: &[u32]) {
+        assert_eq!(
+            counters.len(),
+            self.sigma as usize,
+            "counter vector length must equal sigma"
+        );
+        self.counters.copy_from_slice(counters);
+        self.max_value = counters.iter().copied().max().unwrap_or(0);
+        self.value_counts.clear();
+        self.value_counts.resize(self.max_value as usize + 1, 0);
+        for &c in counters {
+            self.value_counts[c as usize] += 1;
+        }
+    }
+
     /// Materialises the peer signature as a bloom filter.
     pub fn to_bloom(&self) -> BloomFilter {
         let mut f = BloomFilter::new(self.sigma, self.k);

@@ -14,6 +14,19 @@ use crate::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// The raw sequence number, for checkpointing.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from a raw sequence number previously returned by
+    /// [`EventId::as_raw`].
+    pub fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+}
+
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
@@ -206,6 +219,55 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Exports the scheduler's complete mutable state for checkpointing.
+    ///
+    /// Heap entries (cancelled ones included — tombstone bookkeeping is
+    /// part of the observable state) are sorted by `(at, seq)` so the
+    /// export, and therefore its byte encoding, is deterministic even
+    /// though the heap's internal layout is not.
+    pub fn export_state(&self) -> SchedulerState<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|ev| (ev.at, ev.seq, ev.payload.clone()))
+            .collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        SchedulerState {
+            now: self.now,
+            next_seq: self.next_seq,
+            fired: self.fired,
+            peak_depth: self.peak_depth,
+            entries,
+            cancelled: self.cancelled.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a scheduler from a state previously produced by
+    /// [`Scheduler::export_state`]. The rebuilt scheduler pops the exact
+    /// same event sequence as the original: `(at, seq)` is a total order,
+    /// so heap layout differences are unobservable.
+    pub fn from_state(state: SchedulerState<E>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(state.entries.len());
+        for (at, seq, payload) in state.entries {
+            heap.push(Scheduled { at, seq, payload });
+        }
+        let mut cancelled = DetSet::new();
+        for seq in state.cancelled {
+            cancelled.insert(seq);
+        }
+        Scheduler {
+            now: state.now,
+            heap,
+            next_seq: state.next_seq,
+            cancelled,
+            fired: state.fired,
+            peak_depth: state.peak_depth,
+        }
+    }
+
     /// Pops the next event only if it fires at or before `deadline`.
     pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         loop {
@@ -222,6 +284,25 @@ impl<E> Scheduler<E> {
             return Some((ev.at, ev.payload));
         }
     }
+}
+
+/// The complete mutable state of a [`Scheduler`], exported by
+/// [`Scheduler::export_state`] for checkpointing and consumed by
+/// [`Scheduler::from_state`] on restore.
+#[derive(Debug, Clone)]
+pub struct SchedulerState<E> {
+    /// The simulation clock.
+    pub now: SimTime,
+    /// The next sequence number to hand out.
+    pub next_seq: u64,
+    /// Events fired so far.
+    pub fired: u64,
+    /// High-water mark of the pending queue.
+    pub peak_depth: usize,
+    /// Every heap entry — cancelled ones included — sorted by `(at, seq)`.
+    pub entries: Vec<(SimTime, u64, E)>,
+    /// Cancellation tombstones in insertion order.
+    pub cancelled: Vec<u64>,
 }
 
 /// Runs a simulation to completion (or until `until`), dispatching every

@@ -96,6 +96,27 @@ impl Facility {
     pub fn reset(&mut self) {
         *self = Facility::new(self.name);
     }
+
+    /// Exports the mutable counters for checkpointing:
+    /// `(free_at, jobs, busy_micros, queued_micros)`.
+    pub fn export_state(&self) -> (SimTime, u64, u64, u64) {
+        (
+            self.free_at,
+            self.jobs,
+            self.busy_micros,
+            self.queued_micros,
+        )
+    }
+
+    /// Restores counters previously returned by
+    /// [`Facility::export_state`], keeping the name.
+    pub fn restore_state(&mut self, state: (SimTime, u64, u64, u64)) {
+        let (free_at, jobs, busy_micros, queued_micros) = state;
+        self.free_at = free_at;
+        self.jobs = jobs;
+        self.busy_micros = busy_micros;
+        self.queued_micros = queued_micros;
+    }
 }
 
 /// Computes a transmission duration for `bytes` over a link of

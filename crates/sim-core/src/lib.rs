@@ -45,7 +45,7 @@ mod stats;
 mod time;
 
 pub use det::{DetMap, DetSet};
-pub use event::{run_until, EventId, Scheduler};
+pub use event::{run_until, EventId, Scheduler, SchedulerState};
 pub use facility::{transmission_time, Facility};
 pub use rng::{derive_seed, SimRng};
 pub use stats::{Ewma, Ratio, Welford};

@@ -114,6 +114,19 @@ impl SimRng {
     pub fn raw(&mut self) -> &mut impl Rng {
         &mut self.inner
     }
+
+    /// The raw generator state words, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a stream from state words previously returned by
+    /// [`SimRng::state`]; the restored stream continues the original exactly.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng {
+            inner: SmallRng::from_state(s),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,17 @@ impl Welford {
         self.mean * self.count as f64
     }
 
+    /// The running sum of squared deviations (`M2`), for checkpointing.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an estimator from its raw accumulators, as returned by
+    /// [`Welford::count`], [`Welford::mean`] and [`Welford::m2`].
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Welford { count, mean, m2 }
+    }
+
     /// Merges another estimator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.count == 0 {
@@ -135,6 +146,18 @@ impl Ewma {
     /// The smoothing weight.
     pub fn weight(&self) -> f64 {
         self.weight
+    }
+
+    /// Rebuilds an average from its parts, as returned by
+    /// [`Ewma::weight`] and [`Ewma::value`] (checkpointing support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `[0, 1]` or not finite.
+    pub fn from_parts(weight: f64, value: Option<f64>) -> Self {
+        let mut e = Ewma::new(weight);
+        e.value = value;
+        e
     }
 
     /// Folds one sample in.

@@ -145,6 +145,42 @@ impl ServerDb {
     pub fn update_interval(&self, item: ItemId) -> Option<f64> {
         self.interval[item.index()].value()
     }
+
+    /// Exports the full mutable state for checkpointing: per-item
+    /// `(last_updated, interval EWMA value, ever_updated)` plus the update
+    /// counter. The EWMA weight is config-derived and not exported.
+    pub fn export_state(&self) -> (Vec<(SimTime, Option<f64>, bool)>, u64) {
+        let items = (0..self.last_updated.len())
+            .map(|i| {
+                (
+                    self.last_updated[i],
+                    self.interval[i].value(),
+                    self.ever_updated[i],
+                )
+            })
+            .collect();
+        (items, self.updates_applied)
+    }
+
+    /// Restores state previously returned by [`ServerDb::export_state`]
+    /// into a freshly constructed database (same `n_data` and `alpha`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item count differs.
+    pub fn restore_state(&mut self, items: &[(SimTime, Option<f64>, bool)], updates_applied: u64) {
+        assert_eq!(
+            items.len(),
+            self.last_updated.len(),
+            "database size must match the checkpointed run"
+        );
+        for (i, &(last, value, ever)) in items.iter().enumerate() {
+            self.last_updated[i] = last;
+            self.interval[i] = Ewma::from_parts(self.interval[i].weight(), value);
+            self.ever_updated[i] = ever;
+        }
+        self.updates_applied = updates_applied;
+    }
 }
 
 #[cfg(test)]

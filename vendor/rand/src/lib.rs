@@ -215,6 +215,20 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously returned by
+        /// [`SmallRng::state`]. Round-trips exactly: the restored generator
+        /// continues the original stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
